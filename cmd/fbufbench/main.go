@@ -1,0 +1,101 @@
+// Command fbufbench regenerates the tables and figures of the fbufs paper
+// (Druschel & Peterson, SOSP 1993) on the simulated DecStation testbed.
+//
+// Usage:
+//
+//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|ablations|all]
+//
+// Output is plain text: one aligned table per paper table, one
+// column-per-series table per paper figure. EXPERIMENTS.md records the
+// paper-vs-measured comparison for every entry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fbufs/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, ablations, all")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "fbufbench:", err)
+		os.Exit(1)
+	}
+}
+
+type writerTo interface {
+	WriteTo(io.Writer) (int64, error)
+}
+
+func run(w io.Writer, exp string) error {
+	show := func(r writerTo, err error) error {
+		if err != nil {
+			return err
+		}
+		if _, err := r.WriteTo(w); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
+	}
+	all := exp == "all"
+	ran := false
+	if all || exp == "table1" {
+		ran = true
+		if err := show(bench.Table1()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig3" {
+		ran = true
+		if err := show(bench.Figure3()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig4" {
+		ran = true
+		if err := show(bench.Figure4()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig5" {
+		ran = true
+		if err := show(bench.Figure5()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig6" {
+		ran = true
+		if err := show(bench.Figure6()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "cpuload" {
+		ran = true
+		if err := show(bench.CPULoad()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "ablations" {
+		ran = true
+		tables, err := bench.Ablations()
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := show(t, nil); err != nil {
+				return err
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Imagepipeline: the digital-image-retrieval workload from the paper's
+// introduction. A storage server hands 4 MB scans to a filter domain which
+// crops them — without copying, using the aggregate object's split/clip
+// editing — and forwards the result to a viewer. The same pipeline is run
+// over the classic baselines (copy-through-kernel and Mach COW) for
+// contrast.
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbufs"
+	"fbufs/internal/aggregate"
+	"fbufs/internal/xfer"
+)
+
+const (
+	imageBytes = 4 << 20 // one uncompressed scan
+	images     = 8
+)
+
+// fbufPipeline moves images storage -> filter -> viewer with fbufs,
+// cropping 25% off each end in the filter without touching a byte.
+func fbufPipeline() {
+	sys := fbufs.New(1 << 15)
+	storage := sys.NewDomain("storage")
+	filter := sys.NewDomain("filter")
+	viewer := sys.NewDomain("viewer")
+
+	path, err := sys.NewPath("scans", fbufs.CachedVolatile(), 64, storage, filter, viewer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path.SetQuota(0) // unlimited for this trusted path
+	srcCtx, err := sys.NewCtx(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The filter edits messages in its own domain: it needs its own
+	// allocation context for new DAG nodes.
+	filterPath, err := sys.NewPath("filter-edits", fbufs.CachedVolatile(), 1, filter, viewer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filterPath.SetQuota(32)
+	filterCtx, err := aggregate.NewCtx(sys.Fbufs, filterPath, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := make([]byte, imageBytes)
+	for i := range img {
+		img[i] = byte(i * 13)
+	}
+
+	start := sys.Now()
+	var delivered int64
+	for n := 0; n < images; n++ {
+		m, err := srcCtx.NewData(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Transfer(storage, filter); err != nil {
+			log.Fatal(err)
+		}
+		fm, err := m.ViewFor(filter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Free(storage); err != nil {
+			log.Fatal(err)
+		}
+		// Crop: drop a quarter from each end. No bytes move — the new
+		// message references the middle of the original buffers.
+		cropped, err := filterCtx.ClipHead(fm, imageBytes/4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cropped, err = filterCtx.ClipTail(cropped, imageBytes/4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cropped.Transfer(filter, viewer); err != nil {
+			log.Fatal(err)
+		}
+		vm, err := cropped.ViewFor(viewer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cropped.Free(filter); err != nil {
+			log.Fatal(err)
+		}
+		if err := vm.Touch(viewer); err != nil {
+			log.Fatal(err)
+		}
+		delivered += int64(vm.Len())
+		if err := vm.Free(viewer); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := sys.Now() - start
+	fmt.Printf("%-18s %6.1f ms for %d images  (%5.0f Mb/s delivered, crop copied 0 bytes)\n",
+		"fbufs (cropping)", elapsed.Microseconds()/1000, images,
+		fbufs.Mbps(delivered, elapsed))
+}
+
+// baseline runs storage -> viewer with a classic transfer facility (no
+// cropping: the baselines move whole buffers).
+func baseline(name string, mk func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error)) {
+	sys := fbufs.New(1 << 15)
+	a := sys.NewDomain("storage")
+	b := sys.NewDomain("viewer")
+	f, err := mk(sys, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := sys.Now()
+	for n := 0; n < images; n++ {
+		if err := f.Hop(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := sys.Now() - start
+	fmt.Printf("%-18s %6.1f ms for %d images  (%5.0f Mb/s)\n",
+		name, elapsed.Microseconds()/1000, images,
+		fbufs.Mbps(int64(imageBytes)*images, elapsed))
+}
+
+func main() {
+	fmt.Printf("image retrieval: %d scans of %d MB, storage -> filter -> viewer\n\n",
+		images, imageBytes>>20)
+	fbufPipeline()
+	baseline("copy", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
+		return xfer.NewCopier(sys.VM, a, b, imageBytes)
+	})
+	baseline("mach COW", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
+		return xfer.NewCOW(sys.VM, a, b, imageBytes)
+	})
+	fmt.Println("\nThe fbuf pipeline crosses TWO boundaries and still beats the one-hop")
+	fmt.Println("baselines: immutable buffers plus aggregate editing eliminate every copy.")
+}

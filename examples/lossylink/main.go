@@ -1,0 +1,56 @@
+// Lossylink: reliable bulk transfer over a corrupting network. Two
+// simulated DecStations run the full stack — sliding-window transport
+// (SWP) over UDP/IP over the Osiris ATM adapters — while the null modem
+// corrupts every Nth PDU. Retransmission clones (the paper's stated reason
+// immutable fbufs need copy semantics: "the passing layer ... may need to
+// retransmit it sometime in the future") carry the transfer to completion.
+//
+//	go run ./examples/lossylink
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbufs"
+	"fbufs/internal/netsim"
+)
+
+func run(dropEvery int) {
+	cfg := netsim.Config{
+		Placement: netsim.UserUser,
+		Opts:      fbufs.CachedVolatile(),
+		PDUBytes:  16 * 1024,
+		MsgBytes:  64 * 1024,
+		Count:     16,
+		UseSWP:    true,
+		DropEvery: dropEvery,
+	}
+	e, err := netsim.NewE2E(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := "lossless"
+	if dropEvery > 0 {
+		loss = fmt.Sprintf("1-in-%d PDU loss", dropEvery)
+	}
+	fmt.Printf("%-18s delivered %2d/%d msgs  %6.0f Mb/s  retransmits=%-3d acks=%d\n",
+		loss, res.Delivered, cfg.Count, res.ThroughputMbps,
+		e.A.SWP.Retransmits, e.A.SWP.AcksReceived)
+}
+
+func main() {
+	fmt.Println("reliable 1MB transfer (16 x 64KB messages) over the simulated ATM link")
+	fmt.Println("SWP sliding-window transport: sequence numbers, cumulative acks,")
+	fmt.Println("timer-driven retransmission from immutable fbuf clones")
+	fmt.Println()
+	for _, drop := range []int{0, 19, 9, 5} {
+		run(drop)
+	}
+	fmt.Println("\nEvery message arrives intact regardless of loss rate; the price is")
+	fmt.Println("retransmitted PDUs and timeout stalls, never corrupted data.")
+}

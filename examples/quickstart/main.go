@@ -1,0 +1,70 @@
+// Quickstart: allocate a fast buffer on an I/O data path, fill it in a
+// producer domain, transfer it with copy semantics (zero copies, zero
+// mapping work in the steady state) to a consumer domain, and watch the
+// buffer recycle onto the path's LIFO free list.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbufs"
+)
+
+func main() {
+	sys := fbufs.New(1024) // one simulated host with 4 MB of page frames
+
+	producer := sys.NewDomain("producer")
+	consumer := sys.NewDomain("consumer")
+
+	// An I/O data path declares, at allocation time, the sequence of
+	// protection domains buffers will traverse — the locality the fbuf
+	// cache exploits.
+	path, err := sys.NewPath("sensor-feed", fbufs.CachedVolatile(), 4, producer, consumer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	payload := make([]byte, 3*fbufs.PageSize)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	out := make([]byte, len(payload))
+
+	for round := 1; round <= 3; round++ {
+		start := sys.Now()
+		buf, err := path.Alloc()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buf.Write(producer, 0, payload); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Fbufs.Transfer(buf, producer, consumer); err != nil {
+			log.Fatal(err)
+		}
+		if err := buf.Read(consumer, 0, out); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Fbufs.Free(buf, consumer); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Fbufs.Free(buf, producer); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: %5d bytes across the domain boundary in %v simulated\n",
+			round, len(payload), sys.Now()-start)
+	}
+
+	st := sys.Fbufs.Stats
+	fmt.Printf("\nallocator: %d allocs, %d cache hits, %d mapping ops during transfer\n",
+		st.Allocs, st.CacheHits, st.MappingsBuilt)
+	fmt.Printf("free list depth: %d (the fbuf recycled, mappings intact)\n", path.FreeListLen())
+	fmt.Println("\nRound 1 pays for frames, clearing, and mappings. Later rounds reuse")
+	fmt.Println("the cached fbuf with zero mapping work; with a working set this small")
+	fmt.Println("even the TLB entries stay warm, so the transfer is literally free.")
+	fmt.Println("(At large working sets the steady state costs two TLB misses per page,")
+	fmt.Println("the paper's 3 us/page — run cmd/fbufbench -exp table1 to see it.)")
+}

@@ -1,0 +1,110 @@
+// Videoserver: the continuous-media workload the paper's introduction
+// motivates ("such applications include real-time video"). A capture
+// driver in the kernel produces 30 frames per second of uncompressed
+// 300 KB video; each frame crosses a decoder domain and a display domain.
+// The example contrasts fbuf optimization levels by the simulated CPU time
+// each frame costs and the headroom left at 30 fps.
+//
+//	go run ./examples/videoserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbufs"
+	"fbufs/internal/aggregate"
+	"fbufs/internal/core"
+)
+
+const (
+	frameBytes = 300 * 1024 // one uncompressed frame
+	frames     = 30         // one second of video
+	fbufPages  = 16         // 64 KB capture buffers
+)
+
+func runPipeline(name string, opts fbufs.Options) {
+	sys := fbufs.New(1 << 14)
+	capture := sys.Kernel() // the capture driver is trusted
+	decoder := sys.NewDomain("decoder")
+	display := sys.NewDomain("display")
+
+	path, err := sys.NewPath("camera0", opts, fbufPages, capture, decoder, display)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path.SetQuota(32)
+	ctx, err := aggregate.NewCtx(sys.Fbufs, path, opts.Integrated)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frame := make([]byte, frameBytes)
+	for i := range frame {
+		frame[i] = byte(i * 7)
+	}
+
+	start := sys.Now()
+	for f := 0; f < frames; f++ {
+		// Capture: the driver assembles a frame (in a real system the
+		// hardware DMAs it; writing charges the memory touches).
+		m, err := ctx.NewData(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Decoder reads the whole frame (headers + inspection), then
+		// annotates it by *prepending* metadata — buffers are immutable,
+		// so editing means logical concatenation, never modification.
+		if err := m.Transfer(capture, decoder); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Touch(decoder); err != nil {
+			log.Fatal(err)
+		}
+		// Display consumes and frees.
+		if err := m.Transfer(decoder, display); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Touch(display); err != nil {
+			log.Fatal(err)
+		}
+		// Each holder releases its references.
+		view, err := m.ViewFor(display)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := view.Free(display); err != nil {
+			log.Fatal(err)
+		}
+		view2, err := m.ViewFor(decoder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := view2.Free(decoder); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Free(capture); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := sys.Now() - start
+	perFrame := elapsed / frames
+	budget := fbufs.Duration(1_000_000_000 / 30) // 33.3 ms per frame at 30 fps
+	fmt.Printf("%-22s %8.2f ms/frame  CPU budget used at 30fps: %5.1f%%  throughput %6.0f Mb/s\n",
+		name, perFrame.Microseconds()/1000, 100*float64(perFrame)/float64(budget),
+		fbufs.Mbps(int64(frameBytes)*frames, elapsed))
+}
+
+func main() {
+	fmt.Printf("video pipeline: %d frames of %d KB through kernel -> decoder -> display\n\n",
+		frames, frameBytes/1024)
+	// All variants run the integrated system; only caching/volatility vary.
+	integrated := func(o fbufs.Options) fbufs.Options { o.Integrated = true; return o }
+	runPipeline("cached/volatile", fbufs.CachedVolatile())
+	runPipeline("cached only", integrated(fbufs.CachedNonVolatile()))
+	runPipeline("uncached", integrated(core.Uncached()))
+	runPipeline("plain (no opts)", integrated(core.UncachedNonVolatile()))
+	fmt.Println("\nCaching turns per-frame VM work into free-list reuse. The volatile and")
+	fmt.Println("non-volatile variants tie here because the capture driver is the kernel:")
+	fmt.Println("immutability enforcement for a trusted originator is a no-op (paper, 2.1.3).")
+}

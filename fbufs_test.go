@@ -1,0 +1,104 @@
+package fbufs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fbufs"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := fbufs.New(1024)
+	src := sys.NewDomain("producer")
+	dst := sys.NewDomain("consumer")
+	path, err := sys.NewPath("video", fbufs.CachedVolatile(), 4, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame := make([]byte, 3*fbufs.PageSize)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	buf, err := path.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Write(src, 0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Fbufs.Transfer(buf, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(frame))
+	if err := buf.Read(dst, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, frame) {
+		t.Fatal("consumer read different bytes")
+	}
+	if err := sys.Fbufs.Free(buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Fbufs.Free(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if path.FreeListLen() != 1 {
+		t.Fatalf("fbuf not recycled: free list %d", path.FreeListLen())
+	}
+	if sys.Now() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestFacadeMessages(t *testing.T) {
+	sys := fbufs.New(4096)
+	src := sys.NewDomain("src")
+	dst := sys.NewDomain("dst")
+	path, err := sys.NewPath("p", fbufs.CachedVolatile(), 4, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.SetQuota(32)
+	ctx, err := sys.NewCtx(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 50000)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	m, err := ctx.NewData(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Transfer(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	rm, err := sys.OpenMsg(dst, m.RootVA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rm.ReadAll(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("message corrupted in transfer")
+	}
+	if err := rm.Free(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Fbufs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if got := fbufs.Mbps(4096, 3000); got < 10900 || got > 10950 {
+		t.Fatalf("Mbps(page, 3us) = %v", got)
+	}
+}

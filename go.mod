@@ -1,0 +1,3 @@
+module fbufs
+
+go 1.22

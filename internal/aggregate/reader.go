@@ -1,0 +1,158 @@
+package aggregate
+
+import (
+	"fmt"
+	"io"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// Reader is the generator-like retrieval operation of the paper's proposed
+// high-bandwidth I/O interface (section 5.2): applications consume a
+// buffer aggregate at the granularity of application-defined data units
+// ("such as a structure or a line of text"), and "copying only occurs when
+// a data unit crosses a buffer fragment boundary".
+//
+// Next(n) returns the next n bytes. When the unit lies entirely within one
+// fragment the returned slice aliases the fbuf's frame storage directly —
+// zero copies, with only the simulated access costs of touching the pages.
+// When the unit straddles fragments, the bytes are gathered into a scratch
+// buffer and the per-byte copy cost is charged, exactly the penalty the
+// paper describes the interface minimizing.
+type Reader struct {
+	m   *Msg
+	d   *domain.Domain
+	seg int
+	off int // offset within current segment
+
+	// Copies counts boundary-crossing units (diagnostics and tests).
+	Copies uint64
+	// CopiedBytes totals the gathered bytes.
+	CopiedBytes uint64
+
+	scratch []byte
+}
+
+// NewReader positions a reader at the start of the message for domain d.
+func (m *Msg) NewReader(d *domain.Domain) *Reader {
+	return &Reader{m: m, d: d}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int {
+	n := 0
+	for i := r.seg; i < len(r.m.segs); i++ {
+		n += r.m.segs[i].N
+	}
+	return n - r.off
+}
+
+// Next returns the next n bytes of the message, or io.EOF when fewer than
+// n remain (after which Remaining tells how many trailing bytes were left;
+// use Next(r.Remaining()) to drain them). The returned slice is valid
+// until the next call.
+func (r *Reader) Next(n int) ([]byte, error) {
+	if r.m.consumed {
+		return nil, ErrConsumed
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative unit", ErrRange)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if r.Remaining() < n {
+		return nil, io.EOF
+	}
+	s := &r.m.segs[r.seg]
+	// Fast path: the unit lies within the current fragment. Reading
+	// through the address space charges TLB/fault costs; the returned
+	// bytes alias the frame storage (no copy).
+	if r.off+n <= s.N {
+		out, err := r.view(s, r.off, n)
+		if err != nil {
+			return nil, err
+		}
+		r.advance(n)
+		return out, nil
+	}
+	// Slow path: gather across fragments, charging a prorated copy cost.
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	out := r.scratch[:n]
+	sys := r.m.mgr.Sys
+	sys.Sink().Charge(simtime.Duration(int64(sys.Cost.PageCopy) * int64(n) / machine.PageSize))
+	if err := r.m.Read(r.d, r.pos(), out); err != nil {
+		return nil, err
+	}
+	r.advance(n)
+	r.Copies++
+	r.CopiedBytes += uint64(n)
+	return out, nil
+}
+
+// pos returns the reader's absolute byte offset in the message.
+func (r *Reader) pos() int {
+	n := 0
+	for i := 0; i < r.seg; i++ {
+		n += r.m.segs[i].N
+	}
+	return n + r.off
+}
+
+// advance moves the cursor n bytes forward.
+func (r *Reader) advance(n int) {
+	r.off += n
+	for r.seg < len(r.m.segs) && r.off >= r.m.segs[r.seg].N {
+		r.off -= r.m.segs[r.seg].N
+		r.seg++
+	}
+}
+
+// view returns bytes [off, off+n) of segment s, aliasing frame storage.
+// The access is still protection-checked and cost-charged page by page via
+// Translate; only the final byte extraction bypasses the copy.
+func (r *Reader) view(s *Seg, off, n int) ([]byte, error) {
+	if s.F == nil {
+		// Absence of data (volatile dangling reference): zeros.
+		if cap(r.scratch) < n {
+			r.scratch = make([]byte, n)
+		}
+		out := r.scratch[:n]
+		for i := range out {
+			out[i] = 0
+		}
+		return out, nil
+	}
+	va := s.VA + vm.VA(off)
+	if va.PageOffset()+n <= machine.PageSize {
+		// Single page: translate (protection checks, TLB costs, fault
+		// handling — including the volatile empty-leaf redirection) and
+		// alias whatever frame the translation yielded.
+		fn, err := r.d.AS.Translate(va, false)
+		if err != nil {
+			return nil, err
+		}
+		fr := r.m.mgr.Sys.Mem.Frame(fn)
+		po := va.PageOffset()
+		return fr.Data[po : po+n], nil
+	}
+	// A unit within one fragment may still span page boundaries; frames
+	// are not virtually contiguous in Go memory, so gather through the
+	// address space (which keeps every protection rule intact). This is
+	// simulator plumbing: on the real machine the virtual addresses are
+	// contiguous, so no simulated copy cost is charged beyond the page
+	// touches AS.Read performs.
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	out := r.scratch[:n]
+	if err := r.d.AS.Read(va, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

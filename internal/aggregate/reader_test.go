@@ -1,0 +1,217 @@
+package aggregate
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// readerMsg builds a multi-fragment message: three data chunks joined, so
+// fragment boundaries land at 5000 and 11000.
+func readerMsg(t *testing.T, r *rig, c *Ctx) (*Msg, []byte) {
+	t.Helper()
+	a, err := c.NewData(pattern(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewData(pattern(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := c.Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.NewData(pattern(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Join(ab, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(append([]byte(nil), pattern(5000)...), pattern(6000)...), pattern(3000)...)
+	return m, want
+}
+
+func TestReaderSequentialUnits(t *testing.T) {
+	bothModes(t, func(t *testing.T, r *rig, c *Ctx) {
+		m, want := readerMsg(t, r, c)
+		rd := m.NewReader(r.src)
+		var got []byte
+		const unit = 700
+		for rd.Remaining() >= unit {
+			b, err := rd.Next(unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b...)
+		}
+		tail, err := rd.Next(rd.Remaining())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tail...)
+		if !bytes.Equal(got, want) {
+			t.Fatal("reader content mismatch")
+		}
+		if rd.Remaining() != 0 {
+			t.Fatalf("remaining %d", rd.Remaining())
+		}
+		m.Free(r.src)
+	})
+}
+
+func TestReaderCopiesOnlyAtBoundaries(t *testing.T) {
+	r := newRig(t)
+	c := r.ctx(t, false, 2)
+	m, _ := readerMsg(t, r, c) // fragments: 5000 | 6000 | 3000 bytes
+	rd := m.NewReader(r.src)
+	// 1000-byte units: boundaries at 5000 and 11000 are unit-aligned, so
+	// no unit crosses a fragment -> zero copies.
+	for rd.Remaining() > 0 {
+		if _, err := rd.Next(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rd.Copies != 0 {
+		t.Fatalf("aligned units copied %d times", rd.Copies)
+	}
+
+	// 1500-byte units: crossings at the 5000 and 11000 boundaries.
+	rd2 := m.NewReader(r.src)
+	crossings := 0
+	pos := 0
+	for rd2.Remaining() >= 1500 {
+		if _, err := rd2.Next(1500); err != nil {
+			t.Fatal(err)
+		}
+		if (pos < 5000 && pos+1500 > 5000) || (pos < 11000 && pos+1500 > 11000) {
+			crossings++
+		}
+		pos += 1500
+	}
+	if rd2.Copies != uint64(crossings) {
+		t.Fatalf("copies %d, want %d boundary crossings", rd2.Copies, crossings)
+	}
+	if rd2.CopiedBytes != uint64(crossings*1500) {
+		t.Fatalf("copied bytes %d", rd2.CopiedBytes)
+	}
+}
+
+func TestReaderChargesCopyCostOnlyWhenGathering(t *testing.T) {
+	r := newRig(t)
+	c := r.ctx(t, false, 2)
+	m, _ := readerMsg(t, r, c)
+
+	// Warm all pages so only copy costs differ.
+	if err := m.Touch(r.src); err != nil {
+		t.Fatal(err)
+	}
+	rd := m.NewReader(r.src)
+	start := r.clk.Now()
+	for rd.Remaining() >= 1000 {
+		if _, err := rd.Next(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aligned := r.clk.Now() - start
+
+	rd2 := m.NewReader(r.src)
+	start = r.clk.Now()
+	for rd2.Remaining() >= 1500 {
+		if _, err := rd2.Next(1500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crossing := r.clk.Now() - start
+	if crossing <= aligned {
+		t.Fatalf("boundary-crossing read (%v) not dearer than aligned read (%v)", crossing, aligned)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := newRig(t)
+	c := r.ctx(t, false, 2)
+	m, _ := c.NewData(pattern(100))
+	rd := m.NewReader(r.src)
+	if _, err := rd.Next(101); !errors.Is(err, io.EOF) {
+		t.Fatalf("oversized unit: %v", err)
+	}
+	if _, err := rd.Next(-1); !errors.Is(err, ErrRange) {
+		t.Fatalf("negative unit: %v", err)
+	}
+	if b, err := rd.Next(0); err != nil || b != nil {
+		t.Fatalf("zero unit: %v %v", b, err)
+	}
+	if _, err := rd.Next(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(1); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestReaderRespectsProtection(t *testing.T) {
+	// A reader in a domain without rights reads absence-of-data (volatile)
+	// rather than leaking bytes.
+	r := newRig(t)
+	c := r.ctx(t, true, 2)
+	m, _ := c.NewData([]byte("secret bytes here"))
+	// dst never received the message.
+	rd := m.NewReader(r.dst)
+	b, err := rd.Next(6)
+	if err != nil {
+		t.Fatalf("volatile read should complete: %v", err)
+	}
+	for _, bb := range b {
+		if bb != 0 {
+			t.Fatalf("leaked %q", b)
+		}
+	}
+}
+
+func TestReaderAfterConsume(t *testing.T) {
+	r := newRig(t)
+	c := r.ctx(t, false, 2)
+	m, _ := c.NewData(pattern(100))
+	rd := m.NewReader(r.src)
+	m.Free(r.src)
+	if _, err := rd.Next(10); !errors.Is(err, ErrConsumed) {
+		t.Fatalf("read after free: %v", err)
+	}
+}
+
+func TestReaderLineOrientedUse(t *testing.T) {
+	// The paper's motivating example: retrieving "a line of text" at a
+	// time from non-contiguous storage.
+	r := newRig(t)
+	c := r.ctx(t, false, 1) // 1-page fbufs: many fragments
+	one := []byte("the quick brown fox jumps over the lazy dog\n")
+	unit := len(one)
+	text := bytes.Repeat(one, 400)
+	m, err := c.NewData(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := m.NewReader(r.src)
+	var lines int
+	for rd.Remaining() >= unit {
+		line, err := rd.Next(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line[unit-1] != '\n' {
+			t.Fatalf("line %d misaligned: %q", lines, line)
+		}
+		lines++
+	}
+	if lines != 400 {
+		t.Fatalf("%d lines", lines)
+	}
+	// Lines not crossing 4096-byte fragment boundaries were zero-copy.
+	if rd.Copies >= uint64(lines)/2 {
+		t.Fatalf("too many copies: %d of %d lines", rd.Copies, lines)
+	}
+}

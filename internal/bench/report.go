@@ -1,0 +1,152 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (section 4): Table 1's incremental per-page transfer costs,
+// Figure 3's single-crossing throughput curves, Figure 4's UDP/IP local
+// loopback experiment, Figures 5 and 6's end-to-end throughput over the
+// simulated Osiris/null-modem testbed, the CPU-load observations, and the
+// ablations the paper discusses in prose (PDU size, shared libraries,
+// memory contention, free-list discipline, volatile and integrated
+// optimizations).
+//
+// Each experiment builds fresh simulated hosts, runs the workload, and
+// returns a Table or Figure that formats the same rows/series the paper
+// reports. The cmd/fbufbench binary prints them; bench_test.go wraps each
+// in a testing.B benchmark that also reports the headline simulated metric.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted result table (one per paper table).
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(t.Title + "\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				sb.WriteString(fmt.Sprintf("  %-*s", widths[i], c))
+			} else {
+				sb.WriteString(fmt.Sprintf("  %*s", widths[i], c))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		sb.WriteString("  " + t.Note + "\n")
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	Y    []float64 // indexed like the figure's X values
+}
+
+// Figure is a formatted result figure (one per paper figure): a family of
+// curves over a shared X axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []int
+	Series []Series
+	Note   string
+}
+
+// WriteTo renders the figure as a column-per-series text table.
+func (f *Figure) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(f.Title + "\n")
+	sb.WriteString(fmt.Sprintf("  %s vs %s\n", f.YLabel, f.XLabel))
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	rows := make([][]string, len(f.X))
+	for xi, x := range f.X {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			v := "-"
+			if xi < len(s.Y) {
+				v = fmt.Sprintf("%.1f", s.Y[xi])
+			}
+			row = append(row, v)
+		}
+		rows[xi] = row
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			sb.WriteString(fmt.Sprintf("  %*s", widths[i], c))
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+	if f.Note != "" {
+		sb.WriteString("  " + f.Note + "\n")
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Get returns the named series, or nil.
+func (f *Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// At returns series value at the given X, or (0, false).
+func (f *Figure) At(name string, x int) (float64, bool) {
+	s := f.Get(name)
+	if s == nil {
+		return 0, false
+	}
+	for i, xv := range f.X {
+		if xv == x && i < len(s.Y) {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}

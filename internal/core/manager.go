@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/mem"
+	"fbufs/internal/vm"
+)
+
+// Manager is the per-host fbuf facility: it owns the fbuf region, grants
+// chunks to path allocators, and implements transfer, secure, free, notice
+// delivery, reclamation, and domain-termination cleanup.
+type Manager struct {
+	Sys *vm.System
+	Reg *domain.Registry
+
+	chunkPages int
+	numChunks  int
+	chunks     []*chunk
+	freeChunks []int
+
+	paths    map[int]*DataPath
+	nextPath int
+
+	// uncached tracks live default-allocator fbufs by base VA.
+	uncached map[vm.VA]*Fbuf
+
+	attached map[int]*domain.Domain // asid -> domain
+
+	// Pending deallocation notices, held at the freeing domain keyed by
+	// the owning (originator) domain, delivered on the next RPC reply
+	// that travels holder->owner, or explicitly when the list overflows.
+	notices map[noticeKey][]*Fbuf
+	// NoticeLimit is the "too many freed references have accumulated"
+	// threshold beyond which an explicit notification message is sent.
+	NoticeLimit int
+
+	// emptyLeafFrame is the shared read-only page mapped on volatile
+	// reads to unpermitted fbuf-region addresses ("initializes the page
+	// with a leaf node that contains no data", section 3.2.4).
+	emptyLeafFrame mem.FrameNum
+	// EmptyLeafInit, if set, formats the empty-leaf page contents
+	// (package aggregate installs its empty-node encoding).
+	EmptyLeafInit func([]byte)
+
+	Stats Stats
+}
+
+type noticeKey struct {
+	holder domain.ID
+	owner  domain.ID
+}
+
+// chunk is one kernel-granted slice of the fbuf region.
+type chunk struct {
+	index int
+	base  vm.VA
+	owner *DataPath // nil when free or owned by the default allocator
+	fbufs []*Fbuf   // carved buffers (contiguous from base)
+	used  int       // pages carved so far
+}
+
+// Stats counts facility activity for the experiment reports.
+type Stats struct {
+	Allocs          uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	Transfers       uint64
+	MappingsBuilt   uint64 // per-page mapping operations during transfer
+	Secures         uint64
+	Frees           uint64
+	Recycles        uint64
+	NoticesQueued   uint64
+	NoticesPiggy    uint64
+	NoticesExplicit uint64
+	FramesReclaimed uint64
+	LazyRefills     uint64
+}
+
+// NewManager creates the fbuf facility with default region geometry.
+func NewManager(sys *vm.System, reg *domain.Registry) *Manager {
+	return NewManagerGeometry(sys, reg, DefaultChunkPages, DefaultRegionChunks)
+}
+
+// NewManagerGeometry creates the facility with explicit chunk geometry.
+func NewManagerGeometry(sys *vm.System, reg *domain.Registry, chunkPages, numChunks int) *Manager {
+	m := &Manager{
+		Sys:            sys,
+		Reg:            reg,
+		chunkPages:     chunkPages,
+		numChunks:      numChunks,
+		chunks:         make([]*chunk, numChunks),
+		paths:          make(map[int]*DataPath),
+		uncached:       make(map[vm.VA]*Fbuf),
+		attached:       make(map[int]*domain.Domain),
+		notices:        make(map[noticeKey][]*Fbuf),
+		NoticeLimit:    32,
+		emptyLeafFrame: mem.NoFrame,
+	}
+	for i := numChunks - 1; i >= 0; i-- {
+		m.freeChunks = append(m.freeChunks, i)
+	}
+	m.AttachDomain(reg.Kernel())
+	return m
+}
+
+// RegionPages returns the size of the fbuf region in pages.
+func (m *Manager) RegionPages() int { return m.chunkPages * m.numChunks }
+
+// regionEnd returns the first VA past the region.
+func (m *Manager) regionEnd() vm.VA {
+	return RegionBase + vm.VA(m.RegionPages()*machine.PageSize)
+}
+
+// InRegion reports whether va lies in the fbuf region (the receiver-side
+// pointer range check of section 3.2.4).
+func (m *Manager) InRegion(va vm.VA) bool { return va >= RegionBase && va < m.regionEnd() }
+
+// AttachDomain reserves the fbuf region in the domain's address space and
+// registers the fault handler and the death hook. Every domain that will
+// originate or receive fbufs must be attached.
+func (m *Manager) AttachDomain(d *domain.Domain) {
+	if _, ok := m.attached[d.AS.ASID]; ok {
+		return
+	}
+	r := &vm.Region{
+		Start:   RegionBase,
+		Pages:   m.RegionPages(),
+		Name:    "fbuf-region",
+		Handler: m.fault,
+	}
+	if err := d.AS.AddRegion(r); err != nil {
+		panic("core: fbuf region overlap: " + err.Error())
+	}
+	m.attached[d.AS.ASID] = d
+	d.OnDeath(m.domainDied)
+}
+
+// Attached reports whether the domain is attached.
+func (m *Manager) Attached(d *domain.Domain) bool {
+	_, ok := m.attached[d.AS.ASID]
+	return ok
+}
+
+// --- Chunk management (the kernel half of the two-level allocator) ---
+
+// grantChunk hands a free chunk to a path allocator (or the default
+// allocator when p is nil), charging the kernel-call cost.
+func (m *Manager) grantChunk(p *DataPath) (*chunk, error) {
+	m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
+	if len(m.freeChunks) == 0 {
+		return nil, ErrRegionFull
+	}
+	idx := m.freeChunks[len(m.freeChunks)-1]
+	m.freeChunks = m.freeChunks[:len(m.freeChunks)-1]
+	c := &chunk{
+		index: idx,
+		base:  RegionBase + vm.VA(idx*m.chunkPages*machine.PageSize),
+		owner: p,
+	}
+	m.chunks[idx] = c
+	return c, nil
+}
+
+// releaseChunk returns a fully drained chunk to the kernel.
+func (m *Manager) releaseChunk(c *chunk) {
+	m.chunks[c.index] = nil
+	m.freeChunks = append(m.freeChunks, c.index)
+}
+
+// fbufAt finds the fbuf containing va, whether path-owned or uncached.
+func (m *Manager) fbufAt(va vm.VA) *Fbuf {
+	if !m.InRegion(va) {
+		return nil
+	}
+	idx := int((va - RegionBase) / vm.VA(m.chunkPages*machine.PageSize))
+	c := m.chunks[idx]
+	if c == nil {
+		return nil
+	}
+	for _, f := range c.fbufs {
+		if f.Contains(va) {
+			return f
+		}
+	}
+	return nil
+}
+
+// --- Fault handling: lazy refill and the volatile empty-leaf rule ---
+
+func (m *Manager) fault(as *vm.AddrSpace, va vm.VA, write bool) error {
+	d := m.attached[as.ASID]
+	if d == nil {
+		return fmt.Errorf("unattached address space")
+	}
+	f := m.fbufAt(va)
+	if f == nil || f.state == StateFree && !f.opts.Cached {
+		return m.volatileLeafOrError(as, va, write, "no fbuf at address")
+	}
+	// Does this domain have rights to the fbuf?
+	hasRights := f.refs[d.ID] > 0 || d == f.Originator ||
+		(f.opts.Cached && f.mapped[d.ID]) // cached mappings persist across free
+	if !hasRights {
+		return m.volatileLeafOrError(as, va, write, "no permission")
+	}
+	if write && (d != f.Originator || f.secured) {
+		return fmt.Errorf("fbuf is immutable to %s", d)
+	}
+	page := int((va - f.Base) / machine.PageSize)
+	prot := vm.ProtRead
+	if d == f.Originator && !f.secured {
+		prot = vm.ReadWrite
+	}
+	if f.frames[page] == mem.NoFrame {
+		// Physical memory was reclaimed (or never populated): allocate
+		// and, for security, clear the frame unless it is known-zero.
+		fn, err := m.allocFrame(f, false)
+		if err != nil {
+			return err
+		}
+		f.frames[page] = fn
+		as.Map(f.Base+vm.VA(page*machine.PageSize), fn, prot)
+		m.Stats.LazyRefills++
+		f.mapped[d.ID] = true
+		return nil
+	}
+	// Frame exists but this domain's PTE is missing (e.g. mapping was
+	// shot down during reclamation of a sibling page, or first touch by
+	// a receiver of a cached fbuf): just map it.
+	as.Map(f.Base+vm.VA(page*machine.PageSize), f.frames[page], prot)
+	f.mapped[d.ID] = true
+	return nil
+}
+
+// volatileLeafOrError implements the section 3.2.4 rule: a *read* to an
+// unpermitted fbuf-region address is satisfied by mapping a shared page
+// holding an empty leaf node; a write is a protection violation.
+func (m *Manager) volatileLeafOrError(as *vm.AddrSpace, va vm.VA, write bool, cause string) error {
+	if write {
+		return fmt.Errorf("fbuf region write: %s", cause)
+	}
+	if m.emptyLeafFrame == mem.NoFrame {
+		fn, err := m.Sys.Mem.Alloc()
+		if err != nil {
+			return err
+		}
+		m.Sys.Sink().Charge(m.Sys.Cost.FrameAlloc + m.Sys.Cost.PageClear)
+		m.Sys.Mem.Zero(fn)
+		if m.EmptyLeafInit != nil {
+			m.EmptyLeafInit(m.Sys.Mem.Frame(fn).Data)
+		}
+		m.emptyLeafFrame = fn
+	}
+	as.Map(va.PageBase(), m.emptyLeafFrame, vm.ProtRead)
+	return nil
+}

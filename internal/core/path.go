@@ -1,0 +1,635 @@
+package core
+
+import (
+	"fmt"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/mem"
+	"fbufs/internal/vm"
+)
+
+// DataPath is one I/O data path: the sequence of protection domains that
+// buffers allocated for a particular communication endpoint will traverse
+// (originator first). Each path has its own fbuf allocator with a LIFO free
+// list and a kernel-imposed chunk quota.
+type DataPath struct {
+	ID      int
+	Name    string
+	Domains []*domain.Domain
+
+	mgr       *Manager
+	opts      Options
+	fbufPages int
+
+	free   []*Fbuf // LIFO: most recently freed first (most likely resident)
+	chunks []*chunk
+	quota  int // max chunks; 0 = manager default
+
+	closed bool
+
+	// Stats
+	Allocated uint64
+}
+
+// NewPath creates a data path. fbufPages is the fixed fbuf size for the
+// path's allocator (PDU- or ADU-sized, chosen by the endpoint). The first
+// domain is the originator; all domains are attached to the fbuf region.
+func (m *Manager) NewPath(name string, opts Options, fbufPages int, domains ...*domain.Domain) (*DataPath, error) {
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("core: path %q needs at least one domain", name)
+	}
+	if fbufPages <= 0 || fbufPages > m.chunkPages {
+		return nil, fmt.Errorf("core: path %q fbuf size %d pages outside (0,%d]", name, fbufPages, m.chunkPages)
+	}
+	for _, d := range domains {
+		if d.Dead() {
+			return nil, ErrDeadDomain
+		}
+		m.AttachDomain(d)
+	}
+	p := &DataPath{
+		ID:        m.nextPath,
+		Name:      name,
+		Domains:   domains,
+		mgr:       m,
+		opts:      opts,
+		fbufPages: fbufPages,
+		quota:     8,
+	}
+	m.nextPath++
+	m.paths[p.ID] = p
+	return p, nil
+}
+
+// Options returns the path's fbuf options.
+func (p *DataPath) Options() Options { return p.opts }
+
+// FbufPages returns the allocator's fixed fbuf size in pages.
+func (p *DataPath) FbufPages() int { return p.fbufPages }
+
+// Originator returns the path's first domain.
+func (p *DataPath) Originator() *domain.Domain { return p.Domains[0] }
+
+// SetQuota adjusts the kernel-imposed chunk limit.
+func (p *DataPath) SetQuota(chunks int) { p.quota = chunks }
+
+// FreeListLen returns the current free-list depth (tests, reclamation).
+func (p *DataPath) FreeListLen() int { return len(p.free) }
+
+// Alloc allocates an fbuf from the path allocator on behalf of the
+// originator. In the cached steady state this pops the LIFO free list and
+// performs no mapping work at all; on a miss it carves a new fbuf from the
+// path's current chunk, requesting a new chunk from the kernel when needed.
+func (p *DataPath) Alloc() (*Fbuf, error) {
+	m := p.mgr
+	if p.closed {
+		return nil, ErrPathClosed
+	}
+	if p.Originator().Dead() {
+		return nil, ErrDeadDomain
+	}
+	m.Stats.Allocs++
+	p.Allocated++
+	if p.opts.Cached {
+		if n := len(p.free); n > 0 {
+			var f *Fbuf
+			if p.opts.FIFO {
+				f = p.free[0]
+				p.free = p.free[1:]
+			} else {
+				f = p.free[n-1]
+				p.free = p.free[:n-1]
+			}
+			m.Stats.CacheHits++
+			f.state = StateLive
+			f.refs[p.Originator().ID] = 1
+			f.gen++
+			return f, nil
+		}
+		m.Stats.CacheMisses++
+	}
+	return p.carve()
+}
+
+// carve builds a brand-new fbuf from chunk space.
+func (p *DataPath) carve() (*Fbuf, error) {
+	m := p.mgr
+	var c *chunk
+	for _, cc := range p.chunks {
+		if cc.used+p.fbufPages <= m.chunkPages {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		if p.quota > 0 && len(p.chunks) >= p.quota {
+			return nil, ErrQuota
+		}
+		var err error
+		c, err = m.grantChunk(p)
+		if err != nil {
+			return nil, err
+		}
+		p.chunks = append(p.chunks, c)
+	}
+	f := &Fbuf{
+		Base:       c.base + vm.VA(c.used*machine.PageSize),
+		Pages:      p.fbufPages,
+		Path:       p,
+		Originator: p.Originator(),
+		mgr:        m,
+		opts:       p.opts,
+		state:      StateLive,
+		frames:     make([]mem.FrameNum, p.fbufPages),
+		refs:       map[domain.ID]int{p.Originator().ID: 1},
+		mapped:     map[domain.ID]bool{},
+	}
+	for i := range f.frames {
+		f.frames[i] = mem.NoFrame
+	}
+	c.used += p.fbufPages
+	c.fbufs = append(c.fbufs, f)
+	if p.opts.Populate {
+		if err := m.populate(f); err != nil {
+			// Partial population (physical memory exhausted): release
+			// what was attached rather than leaking a live fbuf.
+			f.refs = map[domain.ID]int{}
+			m.recycle(f)
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// AllocUncached allocates from the default allocator: an fbuf belonging to
+// no data path, used when the I/O data path cannot be determined at
+// allocation time ("this allocator returns uncached fbufs, and as a
+// consequence, VM map manipulations are necessary for each domain
+// transfer", section 5.2).
+func (m *Manager) AllocUncached(orig *domain.Domain, pages int, opts Options) (*Fbuf, error) {
+	return m.AllocUncachedFill(orig, pages, opts, 0)
+}
+
+// AllocUncachedFill is AllocUncached with a fill hint from a trusted
+// caller: the first fill bytes are about to be completely overwritten
+// (e.g. by device DMA), so pages wholly inside that prefix need no
+// security clear — only the remainder is zeroed. This is the partial-page
+// clearing the paper prices at "between 42 and 99 us/page ... depending on
+// what percentage of each page needed to be cleared". Untrusted callers
+// must not be offered the hint.
+func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options, fill int) (*Fbuf, error) {
+	if orig.Dead() {
+		return nil, ErrDeadDomain
+	}
+	if !m.Attached(orig) {
+		return nil, ErrNotAttached
+	}
+	if pages <= 0 || pages > m.chunkPages {
+		return nil, fmt.Errorf("core: uncached fbuf size %d pages outside (0,%d]", pages, m.chunkPages)
+	}
+	opts.Cached = false
+	m.Stats.Allocs++
+	m.Stats.CacheMisses++
+	// The default allocator draws VA space chunk-at-a-time too, but each
+	// uncached fbuf gets a fresh chunk slot lifecycle: we allocate a VA
+	// range (charged) within a kernel-owned chunk.
+	m.Sys.Sink().Charge(m.Sys.Cost.VAAlloc)
+	var c *chunk
+	for _, cc := range m.chunks {
+		if cc != nil && cc.owner == nil && cc.used+pages <= m.chunkPages {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		var err error
+		c, err = m.grantChunk(nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := &Fbuf{
+		Base:       c.base + vm.VA(c.used*machine.PageSize),
+		Pages:      pages,
+		Originator: orig,
+		mgr:        m,
+		opts:       opts,
+		state:      StateLive,
+		frames:     make([]mem.FrameNum, pages),
+		refs:       map[domain.ID]int{orig.ID: 1},
+		mapped:     map[domain.ID]bool{},
+	}
+	for i := range f.frames {
+		f.frames[i] = mem.NoFrame
+	}
+	c.used += pages
+	c.fbufs = append(c.fbufs, f)
+	m.uncached[f.Base] = f
+	if opts.Populate {
+		if err := m.populateFill(f, fill); err != nil {
+			f.refs = map[domain.ID]int{}
+			m.recycle(f)
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// populate eagerly attaches frames and maps them writable in the
+// originator, clearing dirty frames unless the allocator opted out. The
+// fbuf itself holds one reference per frame (so data survives even when no
+// domain has a mapping yet — receivers of integrated transfers map
+// lazily); each domain mapping holds its own additional reference.
+func (m *Manager) populate(f *Fbuf) error { return m.populateFill(f, 0) }
+
+// populateFill is populate with the trusted-fill hint: pages entirely
+// within the first fill bytes will be fully overwritten and skip clearing.
+func (m *Manager) populateFill(f *Fbuf, fill int) error {
+	as := f.Originator.AS
+	for i := range f.frames {
+		if f.frames[i] != mem.NoFrame {
+			continue
+		}
+		skipClear := (i+1)*machine.PageSize <= fill
+		fn, err := m.allocFrame(f, skipClear)
+		if err != nil {
+			return err
+		}
+		f.frames[i] = fn
+		as.Map(f.Base+vm.VA(i*machine.PageSize), fn, vm.ReadWrite)
+	}
+	f.mapped[f.Originator.ID] = true
+	return nil
+}
+
+// allocFrame takes a frame for the fbuf (the fbuf's ownership reference),
+// clearing it per policy.
+func (m *Manager) allocFrame(f *Fbuf, skipClear bool) (mem.FrameNum, error) {
+	fn, err := m.Sys.Mem.Alloc()
+	if err != nil {
+		return mem.NoFrame, err
+	}
+	m.Sys.Sink().Charge(m.Sys.Cost.FrameAlloc)
+	fr := m.Sys.Mem.Frame(fn)
+	if !fr.Zeroed && !f.opts.NoClear && !skipClear {
+		m.Sys.Sink().Charge(m.Sys.Cost.PageClear)
+		m.Sys.Mem.Zero(fn)
+	}
+	return fn, nil
+}
+
+// releaseFrames drops the fbuf's ownership references (teardown or
+// reclamation); mappings must already be gone for the frames to actually
+// free.
+func (m *Manager) releaseFrames(f *Fbuf) {
+	for i, fn := range f.frames {
+		if fn == mem.NoFrame {
+			continue
+		}
+		if freed := m.Sys.Mem.DecRef(fn); freed {
+			m.Sys.Sink().Charge(m.Sys.Cost.FrameFree)
+		}
+		f.frames[i] = mem.NoFrame
+	}
+}
+
+// Transfer passes the fbuf from one domain to another with copy semantics:
+// the sender keeps its reference (Free it explicitly when done), the
+// receiver gains one. For non-volatile fbufs the first transfer out of the
+// originator eagerly removes the originator's write permission. Mapping
+// into the receiver happens only if the receiver has no (possibly cached)
+// mapping already — the cached steady state transfers with zero VM work.
+func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
+	if f.state != StateLive {
+		return fmt.Errorf("core: transfer of %s fbuf %#x", f.state, uint64(f.Base))
+	}
+	if f.refs[from.ID] == 0 {
+		return ErrNotHolder
+	}
+	if to.Dead() {
+		return ErrDeadDomain
+	}
+	if !m.Attached(to) {
+		return ErrNotAttached
+	}
+	m.Stats.Transfers++
+	// Eager immutability enforcement for non-volatile fbufs — a no-op
+	// when the originator is trusted (the kernel), matching section 2.1.3.
+	if !f.opts.Volatile && !f.secured && from == f.Originator && !f.Originator.Trusted {
+		m.secure(f)
+	}
+	// Receiver mapping policy: a non-integrated transfer passes the fbuf
+	// list through the kernel, which maps the pages into the receiver
+	// eagerly (the Table 1 measurement). An integrated transfer involves
+	// no kernel at all — the receiver's mappings are established lazily
+	// by page faults on first touch, which is why a domain that never
+	// touches the message body (the paper's UDP-in-netserver case) pays
+	// no mapping cost whatsoever.
+	if from != to && !f.mapped[to.ID] && !f.opts.Integrated {
+		prot := vm.ProtRead
+		for i := 0; i < f.Pages; i++ {
+			if f.frames[i] == mem.NoFrame {
+				continue // lazy: receiver faults will fill
+			}
+			to.AS.Map(f.Base+vm.VA(i*machine.PageSize), f.frames[i], prot)
+			m.Stats.MappingsBuilt++
+		}
+		f.mapped[to.ID] = true
+	}
+	f.refs[to.ID]++
+	return nil
+}
+
+// DupRef adds another reference for a domain that already holds one —
+// local bookkeeping used by the aggregate layer when a split leaves two
+// messages referencing the same fbuf. It is free: reference counts are
+// per-domain state, not VM state.
+func (m *Manager) DupRef(f *Fbuf, d *domain.Domain) error {
+	if f.state != StateLive {
+		return fmt.Errorf("core: dupref of %s fbuf", f.state)
+	}
+	if f.refs[d.ID] == 0 {
+		return ErrNotHolder
+	}
+	f.refs[d.ID]++
+	return nil
+}
+
+// FbufAt returns the live or cached fbuf containing va, or nil. The
+// aggregate layer uses it for the section 3.2.4 pointer validation during
+// integrated-DAG traversal.
+func (m *Manager) FbufAt(va vm.VA) *Fbuf { return m.fbufAt(va) }
+
+// Secure raises the protection on the fbuf in the originator domain at a
+// receiver's request (the lazy alternative for volatile fbufs). It is a
+// no-op when the originator is trusted or the fbuf is already secured.
+func (m *Manager) Secure(f *Fbuf, requester *domain.Domain) error {
+	if f.state != StateLive {
+		return fmt.Errorf("core: secure of %s fbuf", f.state)
+	}
+	if f.refs[requester.ID] == 0 {
+		return ErrNotHolder
+	}
+	if f.secured || f.Originator.Trusted {
+		return nil
+	}
+	m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
+	m.secure(f)
+	return nil
+}
+
+// secure removes the originator's write permission page by page.
+func (m *Manager) secure(f *Fbuf) {
+	as := f.Originator.AS
+	for i := 0; i < f.Pages; i++ {
+		if f.frames[i] == mem.NoFrame {
+			continue
+		}
+		as.SetProt(f.Base+vm.VA(i*machine.PageSize), vm.ProtRead)
+	}
+	f.secured = true
+	m.Stats.Secures++
+}
+
+// Free drops one of d's references to the fbuf. When the last reference
+// anywhere is dropped the fbuf is recycled — immediately if the last freer
+// is the originator (whose allocator owns the buffer), otherwise after the
+// deallocation notice reaches the owning domain (piggybacked on the next
+// RPC reply, or pushed explicitly when too many accumulate).
+func (m *Manager) Free(f *Fbuf, d *domain.Domain) error {
+	if f.state != StateLive {
+		return fmt.Errorf("core: free of %s fbuf %#x", f.state, uint64(f.Base))
+	}
+	if f.refs[d.ID] == 0 {
+		return ErrNotHolder
+	}
+	m.Stats.Frees++
+	f.refs[d.ID]--
+	if f.refs[d.ID] == 0 {
+		delete(f.refs, d.ID)
+		// Uncached fbufs tear down the receiver mapping as soon as the
+		// receiver is done (cached ones keep it for reuse).
+		if !f.opts.Cached && d != f.Originator && f.mapped[d.ID] {
+			m.unmapFrom(f, d)
+		}
+	}
+	if len(f.refs) > 0 {
+		return nil
+	}
+	// Last reference anywhere. The notice indirection exists so the
+	// owning domain's allocator learns about the free; when there is no
+	// live owning allocator to inform (default-allocator fbufs, dead
+	// originator, closed path) the kernel recycles directly.
+	if d == f.Originator || f.Path == nil || f.Originator.Dead() || f.Path.closed {
+		m.recycle(f)
+		return nil
+	}
+	f.state = StateDrainingNotice
+	k := noticeKey{holder: d.ID, owner: f.Originator.ID}
+	m.notices[k] = append(m.notices[k], f)
+	m.Stats.NoticesQueued++
+	if len(m.notices[k]) >= m.NoticeLimit {
+		// Explicit notification message: costs a kernel call's worth
+		// of work on this host (it is an intra-host message).
+		m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
+		m.Stats.NoticesExplicit += uint64(len(m.notices[k]))
+		m.deliver(k)
+	}
+	return nil
+}
+
+// DeliverNotices is the ipc.ReplyHook glue: when a reply travels from
+// `replier` back to `caller`, any deallocation notices held at the replier
+// for fbufs owned by the caller ride along for free.
+func (m *Manager) DeliverNotices(replier, caller *domain.Domain) {
+	k := noticeKey{holder: replier.ID, owner: caller.ID}
+	if n := len(m.notices[k]); n > 0 {
+		m.Stats.NoticesPiggy += uint64(n)
+		m.deliver(k)
+	}
+}
+
+func (m *Manager) deliver(k noticeKey) {
+	for _, f := range m.notices[k] {
+		m.recycle(f)
+	}
+	delete(m.notices, k)
+}
+
+// recycle returns an fbuf to its allocator. Cached fbufs go to the path's
+// LIFO free list with mappings intact and the originator's write permission
+// restored; uncached fbufs are fully torn down.
+func (m *Manager) recycle(f *Fbuf) {
+	m.Stats.Recycles++
+	p := f.Path
+	if p != nil && p.opts.Cached && !p.closed && !f.Originator.Dead() {
+		if f.secured {
+			// "write permissions are returned to the originator"
+			as := f.Originator.AS
+			for i := 0; i < f.Pages; i++ {
+				if f.frames[i] == mem.NoFrame {
+					continue
+				}
+				as.SetProt(f.Base+vm.VA(i*machine.PageSize), vm.ReadWrite)
+			}
+			f.secured = false
+		}
+		f.state = StateFree
+		f.refs = map[domain.ID]int{}
+		p.free = append(p.free, f) // LIFO push
+		return
+	}
+	// Full teardown (uncached, or path closed / originator dead).
+	for id := range f.mapped {
+		if d := m.domainByID(id); d != nil && !d.Dead() {
+			m.unmapFrom(f, d)
+		}
+	}
+	m.releaseFrames(f)
+	f.state = StateFree
+	f.refs = map[domain.ID]int{}
+	f.secured = false
+	m.Sys.Sink().Charge(m.Sys.Cost.VAFree)
+	m.removeFromChunk(f)
+}
+
+// unmapFrom tears down all of the fbuf's PTEs in d. The fbuf's own frame
+// references keep the frames alive.
+func (m *Manager) unmapFrom(f *Fbuf, d *domain.Domain) {
+	for i := 0; i < f.Pages; i++ {
+		if f.frames[i] == mem.NoFrame {
+			continue
+		}
+		d.AS.Unmap(f.Base + vm.VA(i*machine.PageSize))
+	}
+	delete(f.mapped, d.ID)
+}
+
+// removeFromChunk retires a torn-down fbuf; when its chunk drains the chunk
+// returns to the kernel.
+func (m *Manager) removeFromChunk(f *Fbuf) {
+	delete(m.uncached, f.Base)
+	idx := int((f.Base - RegionBase) / vm.VA(m.chunkPages*machine.PageSize))
+	c := m.chunks[idx]
+	if c == nil {
+		return
+	}
+	for i, ff := range c.fbufs {
+		if ff == f {
+			c.fbufs = append(c.fbufs[:i], c.fbufs[i+1:]...)
+			break
+		}
+	}
+	if len(c.fbufs) == 0 {
+		if c.owner != nil {
+			for i, cc := range c.owner.chunks {
+				if cc == c {
+					c.owner.chunks = append(c.owner.chunks[:i], c.owner.chunks[i+1:]...)
+					break
+				}
+			}
+		}
+		m.releaseChunk(c)
+	}
+}
+
+func (m *Manager) domainByID(id domain.ID) *domain.Domain { return m.Reg.Get(id) }
+
+// --- Reclamation: the fbuf region is pageable ---
+
+// ReclaimIdle reclaims physical frames from fbufs sitting on free lists,
+// oldest-freed first (the LIFO tail), discarding contents — "when the
+// kernel reclaims the physical memory of an fbuf that is on a free list, it
+// discards the fbuf's contents; it does not have to page it out". It
+// returns the number of frames reclaimed.
+func (m *Manager) ReclaimIdle(maxFrames int) int {
+	reclaimed := 0
+	for _, p := range m.paths {
+		for i := 0; i < len(p.free) && reclaimed < maxFrames; i++ {
+			f := p.free[i] // front = least recently freed under LIFO push-to-back
+			for pg := 0; pg < f.Pages && reclaimed < maxFrames; pg++ {
+				if f.frames[pg] == mem.NoFrame {
+					continue
+				}
+				va := f.Base + vm.VA(pg*machine.PageSize)
+				for id := range f.mapped {
+					if d := m.domainByID(id); d != nil && !d.Dead() {
+						d.AS.Unmap(va)
+					}
+				}
+				if freed := m.Sys.Mem.DecRef(f.frames[pg]); freed {
+					m.Sys.Sink().Charge(m.Sys.Cost.FrameFree)
+				}
+				f.frames[pg] = mem.NoFrame
+				reclaimed++
+				m.Stats.FramesReclaimed++
+			}
+			if reclaimed >= maxFrames {
+				break
+			}
+		}
+	}
+	return reclaimed
+}
+
+// --- Termination (section 3.3) ---
+
+// domainDied is the death hook: release all references the domain holds
+// (its endpoints are destroyed, deallocating associated fbufs), close paths
+// it originates, and keep its chunks alive until external references drain.
+func (m *Manager) domainDied(d *domain.Domain) {
+	// Drop references held by the dying domain on every live fbuf.
+	visit := func(f *Fbuf) {
+		if f.state == StateLive && f.refs[d.ID] > 0 {
+			f.refs[d.ID] = 1 // collapse multiple refs; Free drops the last
+			if err := m.Free(f, d); err != nil {
+				panic("core: termination free failed: " + err.Error())
+			}
+		}
+		delete(f.mapped, d.ID)
+	}
+	for _, c := range m.chunks {
+		if c == nil {
+			continue
+		}
+		for _, f := range append([]*Fbuf(nil), c.fbufs...) {
+			visit(f)
+		}
+	}
+	// Deliver any notices stranded at the dying domain, and flush notices
+	// destined for it (its allocators are gone; the kernel recycles).
+	for k := range m.notices {
+		if k.holder == d.ID || k.owner == d.ID {
+			m.deliver(k)
+		}
+	}
+	// Close paths the domain participates in; free-listed fbufs of an
+	// originator-dead path are torn down now, chunks retained only while
+	// external references persist.
+	for _, p := range m.paths {
+		for _, pd := range p.Domains {
+			if pd == d {
+				m.ClosePath(p)
+				break
+			}
+		}
+	}
+	delete(m.attached, d.AS.ASID)
+}
+
+// ClosePath closes a data path (its communication endpoint is destroyed):
+// the free list is torn down; live fbufs drain through the normal
+// free/notice flow and are then fully released because the path is closed.
+func (m *Manager) ClosePath(p *DataPath) {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	freeList := p.free
+	p.free = nil
+	for _, f := range freeList {
+		m.recycle(f) // path closed: full teardown
+	}
+	delete(m.paths, p.ID)
+}

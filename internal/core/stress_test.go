@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/mem"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// TestRandomOperationSoup drives the full facility with random operation
+// sequences — alloc, transfer, secure, free, notice delivery, reclamation,
+// uncached allocation — checking facility-wide invariants continuously.
+func TestRandomOperationSoup(t *testing.T) {
+	seeds := []int64{1, 7, 42, 1993, 20260704}
+	for _, seed := range seeds {
+		t.Run("", func(t *testing.T) {
+			runSoup(t, seed, false)
+		})
+	}
+}
+
+// TestRandomOperationSoupWithTermination adds random domain termination.
+func TestRandomOperationSoupWithTermination(t *testing.T) {
+	for _, seed := range []int64{3, 11, 4093} {
+		t.Run("", func(t *testing.T) {
+			runSoup(t, seed, true)
+		})
+	}
+}
+
+func runSoup(t *testing.T, seed int64, terminate bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 2048, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := NewManager(sys, reg)
+
+	doms := []*domain.Domain{reg.Kernel()}
+	for i := 0; i < 4; i++ {
+		d := reg.New("d")
+		mgr.AttachDomain(d)
+		doms = append(doms, d)
+	}
+	liveDom := func() *domain.Domain {
+		for tries := 0; tries < 10; tries++ {
+			d := doms[rng.Intn(len(doms))]
+			if !d.Dead() {
+				return d
+			}
+		}
+		return reg.Kernel()
+	}
+
+	type variant struct {
+		name string
+		opts Options
+	}
+	variants := []variant{
+		{"cv", CachedVolatile()},
+		{"c", CachedNonVolatile()},
+		{"v", Uncached()},
+		{"p", UncachedNonVolatile()},
+	}
+	var paths []*DataPath
+	for _, v := range variants {
+		pdoms := []*domain.Domain{doms[rng.Intn(len(doms))]}
+		for _, d := range doms {
+			if d != pdoms[0] && rng.Intn(2) == 0 {
+				pdoms = append(pdoms, d)
+			}
+		}
+		p, err := mgr.NewPath(v.name, v.opts, 1+rng.Intn(4), pdoms...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetQuota(4)
+		paths = append(paths, p)
+	}
+
+	var live []*Fbuf
+	expected := []error{ErrQuota, ErrRegionFull, ErrNotHolder, ErrDeadDomain,
+		ErrPathClosed, ErrNotAttached, mem.ErrOutOfMemory}
+	tolerate := func(err error) {
+		if err == nil {
+			return
+		}
+		for _, e := range expected {
+			if errors.Is(err, e) {
+				return
+			}
+		}
+		t.Fatalf("seed %d: unexpected error: %v", seed, err)
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(20); {
+		case op < 6: // path alloc
+			p := paths[rng.Intn(len(paths))]
+			f, err := p.Alloc()
+			tolerate(err)
+			if err == nil {
+				live = append(live, f)
+			}
+		case op < 8: // uncached alloc
+			d := liveDom()
+			f, err := mgr.AllocUncached(d, 1+rng.Intn(3), Uncached())
+			tolerate(err)
+			if err == nil {
+				live = append(live, f)
+			}
+		case op < 12 && len(live) > 0: // transfer
+			f := live[rng.Intn(len(live))]
+			if f.State() != StateLive {
+				break
+			}
+			from, to := liveDom(), liveDom()
+			err := mgr.Transfer(f, from, to)
+			tolerate(err)
+		case op < 15 && len(live) > 0: // free one holder's ref
+			i := rng.Intn(len(live))
+			f := live[i]
+			if f.State() != StateLive {
+				live = append(live[:i], live[i+1:]...)
+				break
+			}
+			d := liveDom()
+			err := mgr.Free(f, d)
+			tolerate(err)
+			if f.State() != StateLive {
+				live = append(live[:i], live[i+1:]...)
+			}
+		case op < 16 && len(live) > 0: // secure
+			f := live[rng.Intn(len(live))]
+			if f.State() != StateLive {
+				break
+			}
+			tolerate(mgr.Secure(f, liveDom()))
+		case op < 17: // touch data
+			if len(live) == 0 {
+				break
+			}
+			f := live[rng.Intn(len(live))]
+			if f.State() != StateLive {
+				break
+			}
+			d := liveDom()
+			if f.HeldBy(d) && !(d == f.Originator && f.Secured()) {
+				// Reads by holders always legal.
+				_ = f.TouchRead(d)
+			}
+		case op < 18: // deliver notices between a random pair
+			a, b := liveDom(), liveDom()
+			mgr.DeliverNotices(a, b)
+		case op < 19: // reclaim
+			mgr.ReclaimIdle(rng.Intn(8))
+		default: // terminate a domain (rarely)
+			if terminate && rng.Intn(10) == 0 {
+				d := doms[1+rng.Intn(len(doms)-1)]
+				if !d.Dead() {
+					reg.Terminate(d)
+					// Drop stale fbuf handles originated by paths that died.
+					kept := live[:0]
+					for _, f := range live {
+						if f.State() == StateLive {
+							kept = append(kept, f)
+						}
+					}
+					live = kept
+				}
+			}
+		}
+		if step%25 == 24 {
+			if err := mgr.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+	}
+	// Drain: free every remaining reference.
+	for _, f := range live {
+		if f.State() != StateLive {
+			continue
+		}
+		for _, d := range doms {
+			if d.Dead() {
+				continue
+			}
+			for f.State() == StateLive && f.HeldBy(d) {
+				if err := mgr.Free(f, d); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+			}
+		}
+	}
+	for _, a := range doms {
+		for _, b := range doms {
+			if !a.Dead() && !b.Dead() {
+				mgr.DeliverNotices(a, b)
+			}
+		}
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d final: %v", seed, err)
+	}
+}
+
+// TestQuickAllocFreeNeverLeaks is a testing/quick property: any interleaving
+// of allocations and frees on a cached path conserves frames.
+func TestQuickAllocFreeNeverLeaks(t *testing.T) {
+	f := func(ops []uint8) bool {
+		clk := &simtime.Clock{}
+		sys := vm.NewSystem(machine.DecStation5000(), 512, vm.ClockSink{Clock: clk})
+		reg := domain.NewRegistry(sys)
+		mgr := NewManager(sys, reg)
+		src := reg.New("src")
+		dst := reg.New("dst")
+		mgr.AttachDomain(src)
+		mgr.AttachDomain(dst)
+		p, err := mgr.NewPath("q", CachedVolatile(), 2, src, dst)
+		if err != nil {
+			return false
+		}
+		p.SetQuota(8)
+		var held []*Fbuf
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if fb, err := p.Alloc(); err == nil {
+					held = append(held, fb)
+				}
+			case 1:
+				if len(held) > 0 {
+					fb := held[int(op)%len(held)]
+					_ = mgr.Transfer(fb, src, dst)
+				}
+			case 2, 3:
+				if len(held) > 0 {
+					i := int(op) % len(held)
+					fb := held[i]
+					for _, d := range []*domain.Domain{dst, src} {
+						for fb.State() == StateLive && fb.HeldBy(d) {
+							if mgr.Free(fb, d) != nil {
+								return false
+							}
+						}
+					}
+					held = append(held[:i], held[i+1:]...)
+				}
+			}
+			if mgr.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOOMSurfacesCleanly exhausts physical memory mid-workload and checks
+// that allocation fails with ErrOutOfMemory while existing state stays
+// consistent and reclamation restores service.
+func TestOOMSurfacesCleanly(t *testing.T) {
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 16, vm.ClockSink{Clock: clk}) // tiny: 64KB
+	reg := domain.NewRegistry(sys)
+	mgr := NewManager(sys, reg)
+	src := reg.New("src")
+	mgr.AttachDomain(src)
+	p, err := mgr.NewPath("p", CachedVolatile(), 4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetQuota(0)
+
+	var bufs []*Fbuf
+	for {
+		f, err := p.Alloc()
+		if err != nil {
+			if !errors.Is(err, mem.ErrOutOfMemory) {
+				t.Fatalf("exhaustion error: %v", err)
+			}
+			break
+		}
+		bufs = append(bufs, f)
+	}
+	if len(bufs) == 0 {
+		t.Fatal("no allocations before OOM")
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatalf("after OOM: %v", err)
+	}
+	// Free one buffer and reclaim its frames: allocation works again.
+	if err := mgr.Free(bufs[0], src); err != nil {
+		t.Fatal(err)
+	}
+	if n := mgr.ReclaimIdle(4); n == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("allocation after reclaim: %v", err)
+	}
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

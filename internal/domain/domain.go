@@ -1,0 +1,114 @@
+// Package domain implements simulated protection domains. A domain is an
+// address space plus an identity and a trust attribute; the kernel is the
+// distinguished trusted domain. Data paths (package core) are sequences of
+// domains, and the transfer experiments move buffers between them.
+//
+// Domain termination — including abnormal termination while holding fbuf
+// references — is modelled here, because the paper's design discussion
+// (section 3.3) hinges on it: a dying receiver's references must be
+// relinquished, and a dying originator's fbuf chunks must be retained by the
+// kernel until external references drain.
+package domain
+
+import (
+	"fmt"
+
+	"fbufs/internal/vm"
+)
+
+// ID identifies a domain within one host.
+type ID int
+
+// KernelID is the kernel's domain ID.
+const KernelID ID = 0
+
+// Domain is one protection domain.
+type Domain struct {
+	ID      ID
+	Name    string
+	AS      *vm.AddrSpace
+	Trusted bool // the kernel; immutability enforcement is a no-op for it
+
+	dead bool
+
+	// deathHooks run on Terminate, in registration order. The fbuf
+	// manager registers a hook to release references and retain chunks.
+	deathHooks []func(*Domain)
+}
+
+// Dead reports whether the domain has terminated.
+func (d *Domain) Dead() bool { return d.dead }
+
+// OnDeath registers a hook invoked when the domain terminates.
+func (d *Domain) OnDeath(fn func(*Domain)) { d.deathHooks = append(d.deathHooks, fn) }
+
+// String returns "name(id)".
+func (d *Domain) String() string { return fmt.Sprintf("%s(%d)", d.Name, d.ID) }
+
+// Registry manages the domains of one host.
+type Registry struct {
+	sys     *vm.System
+	domains map[ID]*Domain
+	nextID  ID
+	kernel  *Domain
+}
+
+// NewRegistry creates a registry with a kernel domain already present.
+func NewRegistry(sys *vm.System) *Registry {
+	r := &Registry{sys: sys, domains: make(map[ID]*Domain)}
+	r.kernel = &Domain{
+		ID:      KernelID,
+		Name:    "kernel",
+		AS:      sys.NewAddrSpace("kernel"),
+		Trusted: true,
+	}
+	r.domains[KernelID] = r.kernel
+	r.nextID = 1
+	return r
+}
+
+// Kernel returns the kernel domain.
+func (r *Registry) Kernel() *Domain { return r.kernel }
+
+// New creates a user-level domain.
+func (r *Registry) New(name string) *Domain {
+	d := &Domain{
+		ID:   r.nextID,
+		Name: name,
+		AS:   r.sys.NewAddrSpace(name),
+	}
+	r.nextID++
+	r.domains[d.ID] = d
+	return d
+}
+
+// Get returns the domain with the given ID, or nil.
+func (r *Registry) Get(id ID) *Domain { return r.domains[id] }
+
+// Live returns the number of live domains (including the kernel).
+func (r *Registry) Live() int {
+	n := 0
+	for _, d := range r.domains {
+		if !d.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Terminate ends a domain, normally or abnormally: death hooks run first
+// (releasing fbuf references, closing endpoints), then the address space is
+// destroyed. Terminating the kernel is a simulator bug and panics.
+func (r *Registry) Terminate(d *Domain) {
+	if d.ID == KernelID {
+		panic("domain: cannot terminate the kernel")
+	}
+	if d.dead {
+		return
+	}
+	d.dead = true
+	for _, fn := range d.deathHooks {
+		fn(d)
+	}
+	d.AS.Destroy()
+}

@@ -1,0 +1,93 @@
+package domain
+
+import (
+	"testing"
+
+	"fbufs/internal/machine"
+	"fbufs/internal/vm"
+)
+
+func newReg() *Registry {
+	sys := vm.NewSystem(machine.DecStation5000(), 64, nil)
+	return NewRegistry(sys)
+}
+
+func TestKernelDomain(t *testing.T) {
+	r := newReg()
+	k := r.Kernel()
+	if k.ID != KernelID || !k.Trusted || k.Dead() {
+		t.Fatalf("kernel domain: %+v", k)
+	}
+	if r.Get(KernelID) != k {
+		t.Fatal("Get(0) != kernel")
+	}
+}
+
+func TestNewDomainsGetDistinctIDs(t *testing.T) {
+	r := newReg()
+	a := r.New("a")
+	b := r.New("b")
+	if a.ID == b.ID || a.ID == KernelID {
+		t.Fatalf("ids %d %d", a.ID, b.ID)
+	}
+	if a.Trusted {
+		t.Fatal("user domain trusted")
+	}
+	if a.AS == b.AS || a.AS.ASID == b.AS.ASID {
+		t.Fatal("domains share an address space")
+	}
+	if r.Live() != 3 {
+		t.Fatalf("live %d", r.Live())
+	}
+}
+
+func TestTerminateRunsHooksThenDestroys(t *testing.T) {
+	r := newReg()
+	d := r.New("victim")
+	fn, _ := d.AS.Sys.Mem.Alloc()
+	d.AS.MapOwned(0x1000, fn, vm.ReadWrite)
+
+	order := []string{}
+	d.OnDeath(func(dd *Domain) {
+		order = append(order, "hook")
+		if dd != d {
+			t.Error("hook got wrong domain")
+		}
+		if dd.AS.MappedPages() == 0 {
+			t.Error("address space destroyed before hooks ran")
+		}
+	})
+	r.Terminate(d)
+	if len(order) != 1 {
+		t.Fatal("hook did not run")
+	}
+	if !d.Dead() {
+		t.Fatal("not dead")
+	}
+	if d.AS.MappedPages() != 0 {
+		t.Fatal("address space survived")
+	}
+	if r.Live() != 1 {
+		t.Fatalf("live %d", r.Live())
+	}
+	// Idempotent.
+	r.Terminate(d)
+}
+
+func TestTerminateKernelPanics(t *testing.T) {
+	r := newReg()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("terminating kernel did not panic")
+		}
+	}()
+	r.Terminate(r.Kernel())
+}
+
+func TestString(t *testing.T) {
+	r := newReg()
+	d := r.New("app")
+	if d.String() != "app(1)" {
+		t.Fatalf("String = %q", d.String())
+	}
+}

@@ -1,0 +1,138 @@
+// Package ipc implements the simulated cross-domain invocation facility
+// (Mach IPC plus the x-kernel proxy layer, as used in the paper's
+// evaluation platform). It provides synchronous port-based RPC between
+// protection domains on one host, charging the calibrated control-transfer
+// latency, and a piggyback hook through which the fbuf manager attaches
+// deallocation notices to replies (paper section 3.3).
+//
+// The data-transfer cost of a call is NOT charged here: what a message
+// *carries* (copied bytes, fbuf descriptors, an integrated-DAG root
+// reference) is costed by the transfer facility that prepared it. ipc
+// charges only control transfer and per-descriptor marshalling.
+package ipc
+
+import (
+	"fmt"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// PortID names a service endpoint within one host.
+type PortID int
+
+// Message is a cross-domain message. Exactly one payload style is typically
+// used per call:
+//
+//   - Inline: small arguments copied by value (already costed by sender).
+//   - Descriptors: the number of out-of-line fbuf descriptors carried, each
+//     charged IPCPerFbuf (the integrated optimization reduces this to 1).
+//   - Body: simulator-level payload handed to the receiver. This is Go
+//     plumbing, not simulated data; anything the receiver reads through it
+//     must be readable through its own address space or the access will
+//     fault there.
+type Message struct {
+	Op          string
+	Inline      []byte
+	Descriptors int
+	Body        interface{}
+}
+
+// Handler serves calls on a port, in the context of the port's domain.
+type Handler func(from *domain.Domain, msg *Message) (*Message, error)
+
+// ReplyHook is invoked after a handler returns and may attach piggybacked
+// state to the reply path. The fbuf manager uses it to deliver pending
+// deallocation notices destined for the caller ("the reply message is used
+// to carry deallocation notices from this list").
+type ReplyHook func(replier, caller *domain.Domain)
+
+// Router connects domains on one host.
+type Router struct {
+	sys   *vm.System
+	ports map[PortID]*port
+	next  PortID
+
+	replyHooks []ReplyHook
+
+	// CrossingSurcharge is added to every cross-domain call. The
+	// end-to-end experiments use it to model the instruction-cache and
+	// TLB pressure of duplicated library text once a third domain joins
+	// a data path (paper section 4: "we attribute this penalty to the
+	// exhaustion of cache and TLB when a third domain is added").
+	CrossingSurcharge simtime.Duration
+
+	// Calls counts cross-domain calls (same-domain calls are free and
+	// uncounted).
+	Calls uint64
+}
+
+type port struct {
+	id      PortID
+	owner   *domain.Domain
+	handler Handler
+}
+
+// NewRouter creates a router charging IPC costs to sys's cost sink.
+func NewRouter(sys *vm.System) *Router {
+	return &Router{sys: sys, ports: make(map[PortID]*port), next: 1}
+}
+
+// Register creates a port owned by d, served by handler.
+func (r *Router) Register(d *domain.Domain, handler Handler) PortID {
+	id := r.next
+	r.next++
+	r.ports[id] = &port{id: id, owner: d, handler: handler}
+	return id
+}
+
+// Unregister removes a port (domain teardown).
+func (r *Router) Unregister(id PortID) { delete(r.ports, id) }
+
+// OnReply registers a reply hook.
+func (r *Router) OnReply(h ReplyHook) { r.replyHooks = append(r.replyHooks, h) }
+
+// Owner returns the domain owning the port, or nil.
+func (r *Router) Owner(id PortID) *domain.Domain {
+	if p, ok := r.ports[id]; ok {
+		return p.owner
+	}
+	return nil
+}
+
+// Call performs a synchronous RPC from domain `from` to the port. The full
+// round-trip control-transfer latency (IPCLatency) plus per-descriptor
+// marshalling is charged; then the handler runs; then reply hooks fire.
+//
+// A call to a port within the caller's own domain is a plain procedure call
+// and charges nothing — this is what makes the paper's "single domain"
+// baseline configurations free of IPC cost.
+func (r *Router) Call(from *domain.Domain, id PortID, msg *Message) (*Message, error) {
+	p, ok := r.ports[id]
+	if !ok {
+		return nil, fmt.Errorf("ipc: no such port %d", id)
+	}
+	if p.owner.Dead() {
+		return nil, fmt.Errorf("ipc: port %d owner %s is dead", id, p.owner)
+	}
+	if msg == nil {
+		msg = &Message{}
+	}
+	crossing := p.owner != from
+	if crossing {
+		r.Calls++
+		cost := r.sys.Cost.IPCLatency + r.CrossingSurcharge
+		if msg.Descriptors > 0 {
+			cost += r.sys.Cost.IPCPerFbuf * simtime.Duration(msg.Descriptors)
+		}
+		r.sys.Sink().Charge(cost)
+	}
+	reply, err := p.handler(from, msg)
+	if crossing {
+		for _, h := range r.replyHooks {
+			h(p.owner, from)
+		}
+	}
+	return reply, err
+}

@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"testing"
+
+	"fbufs/internal/simtime"
+)
+
+func TestFutureCPUScalesOnlyCPUWork(t *testing.T) {
+	base := DecStation5000()
+	fast := FutureCPU(10)
+
+	// Memory-bandwidth-bound operations are unchanged.
+	if fast.PageClear != base.PageClear {
+		t.Errorf("PageClear changed: %v -> %v", base.PageClear, fast.PageClear)
+	}
+	if fast.PageCopy != base.PageCopy {
+		t.Errorf("PageCopy changed: %v -> %v", base.PageCopy, fast.PageCopy)
+	}
+	// Bus and link hardware are untouched.
+	if fast.BusCellDMA != base.BusCellDMA || fast.LinkCell != base.LinkCell {
+		t.Error("I/O hardware timing changed by CPU speedup")
+	}
+
+	// Pure-CPU operations scale by the full factor.
+	if fast.PTEMap != base.PTEMap/10 {
+		t.Errorf("PTEMap %v, want %v", fast.PTEMap, base.PTEMap/10)
+	}
+	if fast.FaultTrap != base.FaultTrap/10 {
+		t.Errorf("FaultTrap %v, want %v", fast.FaultTrap, base.FaultTrap/10)
+	}
+
+	// Half-memory-bound operations improve by strictly less than the CPU
+	// factor (the paper's "memory bound" prediction).
+	if fast.ProtChange <= base.ProtChange/10 {
+		t.Errorf("ProtChange %v improved by the full CPU factor", fast.ProtChange)
+	}
+	if fast.ProtChange < base.ProtChange/2 {
+		t.Errorf("ProtChange %v lost its memory-bound half", fast.ProtChange)
+	}
+	if fast.TLBMiss <= base.TLBMiss/10 || fast.TLBMiss > base.TLBMiss {
+		t.Errorf("TLBMiss %v outside (base/10, base]", fast.TLBMiss)
+	}
+}
+
+func TestFutureCPUFloor(t *testing.T) {
+	// Extreme speedups bottom out at 0.1us of irreducible work per op.
+	c := FutureCPU(1_000_000)
+	if c.PTEMap < 100 || c.FaultTrap < 100 {
+		t.Fatalf("floor violated: map=%v trap=%v", c.PTEMap, c.FaultTrap)
+	}
+	if c.PageClear != simtime.US(57) {
+		t.Fatalf("memory op scaled: %v", c.PageClear)
+	}
+}
+
+func TestFutureCPUIdentity(t *testing.T) {
+	// Speedup 1 leaves every cost within rounding of the base profile.
+	base := DecStation5000()
+	same := FutureCPU(1)
+	if same.PTEMap != base.PTEMap || same.ProtChange != base.ProtChange ||
+		same.IPCLatency != base.IPCLatency {
+		t.Fatalf("speedup 1 altered costs: %+v", same)
+	}
+}

@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"testing"
+
+	"fbufs/internal/core"
+)
+
+func cachedVolatile() core.Options { return core.CachedVolatile() }
+
+func uncachedNonVolatile() core.Options {
+	o := core.UncachedNonVolatile()
+	o.Integrated = true // the system is integrated either way
+	return o
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEndToEndDeliversAllMessages(t *testing.T) {
+	for _, p := range []Placement{KernelKernel, UserUser, UserNetserverUser} {
+		t.Run(p.String(), func(t *testing.T) {
+			res := run(t, Config{
+				Placement: p,
+				Opts:      cachedVolatile(),
+				PDUBytes:  16 * 1024,
+				MsgBytes:  64 * 1024,
+				Count:     6,
+				Window:    4,
+			})
+			if res.Delivered != 6 {
+				t.Fatalf("delivered %d", res.Delivered)
+			}
+			if res.ThroughputMbps <= 0 {
+				t.Fatal("no throughput measured")
+			}
+		})
+	}
+}
+
+func TestLargeMessagesAreIOBound(t *testing.T) {
+	// Figure 5: with cached/volatile fbufs, large-message throughput hits
+	// the 285 Mb/s I/O ceiling regardless of domain crossings.
+	for _, p := range []Placement{KernelKernel, UserUser, UserNetserverUser} {
+		t.Run(p.String(), func(t *testing.T) {
+			res := run(t, Config{
+				Placement: p,
+				Opts:      cachedVolatile(),
+				PDUBytes:  16 * 1024,
+				MsgBytes:  1 << 20,
+				Count:     5,
+			})
+			if res.ThroughputMbps < 265 || res.ThroughputMbps > 290 {
+				t.Errorf("%v: %.0f Mb/s, want ~285 (I/O bound)", p, res.ThroughputMbps)
+			}
+			if res.RxCPU >= 0.95 {
+				t.Errorf("%v: receive CPU saturated (%.0f%%) despite cached fbufs", p, res.RxCPU*100)
+			}
+		})
+	}
+}
+
+func TestDomainCrossingsFreeForLargeMessages(t *testing.T) {
+	// "domain crossings have virtually no effect on end-to-end throughput
+	// for large messages (>256KB) when cached/volatile fbufs are used".
+	base := run(t, Config{Placement: KernelKernel, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 512 * 1024, Count: 5})
+	uu := run(t, Config{Placement: UserUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 512 * 1024, Count: 5})
+	if uu.ThroughputMbps < 0.93*base.ThroughputMbps {
+		t.Errorf("user-user %.0f vs kernel-kernel %.0f: crossings not free",
+			uu.ThroughputMbps, base.ThroughputMbps)
+	}
+}
+
+func TestMediumMessagesPayPerCrossing(t *testing.T) {
+	// For medium sizes IPC latency costs throughput per crossing, and the
+	// third domain costs extra (duplicated text).
+	const size = 16 * 1024
+	kk := run(t, Config{Placement: KernelKernel, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: size, Count: 8})
+	uu := run(t, Config{Placement: UserUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: size, Count: 8})
+	unu := run(t, Config{Placement: UserNetserverUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: size, Count: 8})
+	if !(kk.ThroughputMbps > uu.ThroughputMbps && uu.ThroughputMbps > unu.ThroughputMbps) {
+		t.Errorf("medium-size ordering violated: kk=%.0f uu=%.0f unu=%.0f",
+			kk.ThroughputMbps, uu.ThroughputMbps, unu.ThroughputMbps)
+	}
+	// Second crossing penalty exceeds the first (text duplication).
+	d1 := kk.ThroughputMbps - uu.ThroughputMbps
+	d2 := uu.ThroughputMbps - unu.ThroughputMbps
+	if d2 <= d1 {
+		t.Errorf("second-crossing penalty %.0f not larger than first %.0f", d2, d1)
+	}
+}
+
+func TestUncachedDegradesAndSaturatesRxCPU(t *testing.T) {
+	// Figure 6: uncached fbufs degrade user-user throughput (paper: ~12%)
+	// and leave the receive-side CPU saturated while cached fbufs leave
+	// headroom.
+	cached := run(t, Config{Placement: UserUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 1 << 20, Count: 5})
+	uncached := run(t, Config{Placement: UserUser, Opts: uncachedNonVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 1 << 20, Count: 5})
+	if uncached.ThroughputMbps >= 0.95*cached.ThroughputMbps {
+		t.Errorf("uncached %.0f Mb/s not below cached %.0f", uncached.ThroughputMbps, cached.ThroughputMbps)
+	}
+	if uncached.ThroughputMbps < 0.6*cached.ThroughputMbps {
+		t.Errorf("uncached %.0f Mb/s degrades too much vs cached %.0f (paper: ~12%%)",
+			uncached.ThroughputMbps, cached.ThroughputMbps)
+	}
+	if uncached.RxCPU < 0.9 {
+		t.Errorf("uncached receive CPU %.0f%%, want saturated", uncached.RxCPU*100)
+	}
+	if cached.RxCPU > 0.8*uncached.RxCPU {
+		t.Errorf("cached rx CPU %.0f%% not clearly below uncached %.0f%%",
+			cached.RxCPU*100, uncached.RxCPU*100)
+	}
+}
+
+func TestNetserverCaseOnlyMarginallyLower(t *testing.T) {
+	// Figure 6: "the throughput achieved in the user-netserver-user case
+	// is only marginally lower. The reason is that UDP ... does not
+	// access the message's body. Thus, there is no need to ever map the
+	// corresponding pages into the netserver domain."
+	uu := run(t, Config{Placement: UserUser, Opts: uncachedNonVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 1 << 20, Count: 5})
+	unu := run(t, Config{Placement: UserNetserverUser, Opts: uncachedNonVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 1 << 20, Count: 5})
+	if unu.ThroughputMbps < 0.85*uu.ThroughputMbps {
+		t.Errorf("netserver case %.0f vs user-user %.0f: more than marginally lower",
+			unu.ThroughputMbps, uu.ThroughputMbps)
+	}
+}
+
+func TestLargerPDUHelpsUncached(t *testing.T) {
+	// Section 4: "setting IP's PDU size to 32 KBytes ... cuts protocol
+	// processing overheads roughly in half ... the uncached throughput
+	// approaches the cached throughput for large messages."
+	c16 := run(t, Config{Placement: UserUser, Opts: uncachedNonVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 1 << 20, Count: 5})
+	c32 := run(t, Config{Placement: UserUser, Opts: uncachedNonVolatile(),
+		PDUBytes: 32 * 1024, MsgBytes: 1 << 20, Count: 5})
+	if c32.ThroughputMbps <= c16.ThroughputMbps {
+		t.Errorf("32KB PDU %.0f Mb/s not better than 16KB %.0f", c32.ThroughputMbps, c16.ThroughputMbps)
+	}
+	cached32 := run(t, Config{Placement: UserUser, Opts: cachedVolatile(),
+		PDUBytes: 32 * 1024, MsgBytes: 1 << 20, Count: 5})
+	if c32.ThroughputMbps < 0.9*cached32.ThroughputMbps {
+		t.Errorf("at 32KB PDU uncached %.0f should approach cached %.0f",
+			c32.ThroughputMbps, cached32.ThroughputMbps)
+	}
+	// The benefit of caching persists as reduced CPU load.
+	if cached32.RxCPU >= c32.RxCPU {
+		t.Errorf("cached rx load %.0f%% not below uncached %.0f%% at 32KB PDU",
+			cached32.RxCPU*100, c32.RxCPU*100)
+	}
+}
+
+func TestThroughputRisesWithMessageSize(t *testing.T) {
+	var prev float64
+	for _, size := range []int{8 * 1024, 64 * 1024, 512 * 1024} {
+		res := run(t, Config{Placement: UserUser, Opts: cachedVolatile(),
+			PDUBytes: 16 * 1024, MsgBytes: size, Count: 6})
+		if res.ThroughputMbps <= prev {
+			t.Errorf("throughput did not rise at %d bytes: %.0f after %.0f",
+				size, res.ThroughputMbps, prev)
+		}
+		prev = res.ThroughputMbps
+	}
+}
+
+func TestSharedLibrariesAblation(t *testing.T) {
+	// Removing the duplicated-text penalty (shared libraries) improves
+	// the three-domain medium-size case.
+	with := run(t, Config{Placement: UserNetserverUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 8 * 1024, Count: 8, Window: 1})
+	without := run(t, Config{Placement: UserNetserverUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 8 * 1024, Count: 8, Window: 1, NoTextPenalty: true})
+	if without.ThroughputMbps <= with.ThroughputMbps {
+		t.Errorf("shared libraries should help: %.0f vs %.0f",
+			without.ThroughputMbps, with.ThroughputMbps)
+	}
+}
+
+func TestVCIDemuxUsesCachedPath(t *testing.T) {
+	e, err := NewE2E(Config{Placement: UserUser, Opts: cachedVolatile(),
+		PDUBytes: 16 * 1024, MsgBytes: 64 * 1024, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.B.Driver.RxUncachedAllocs != 0 {
+		t.Errorf("known VCI used %d uncached buffers", e.B.Driver.RxUncachedAllocs)
+	}
+	if e.B.Driver.RxCachedAllocs == 0 {
+		t.Error("no cached reassembly buffers used")
+	}
+	if err := e.B.Mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.A.Mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

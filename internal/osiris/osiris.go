@@ -1,0 +1,265 @@
+// Package osiris models the Bellcore Osiris ATM network adapter used in
+// the paper's end-to-end experiments, attached to a DecStation's
+// TurboChannel and connected host-to-host by a null modem (622 Mb/s link,
+// 516 Mb/s net of cell overhead).
+//
+// The board is a bus master: it segments outgoing PDUs into ATM cells and
+// DMAs them over the TurboChannel (one DMA start per cell payload — the
+// hardware property that caps Osiris at 367 Mb/s despite the bus's
+// 800 Mb/s peak; CPU/memory contention further reduces effective I/O to
+// 285 Mb/s). On receive it reassembles cells into a buffer selected by the
+// cell's VCI: the driver keeps preallocated *cached* fbufs for the 16 most
+// recently used data paths and a queue of uncached fbufs for everything
+// else (paper section 5.2).
+//
+// Timing (bus occupancy, link serialization, interrupt scheduling) is
+// orchestrated by package netsim; this package provides the driver layer,
+// the VCI table, and the cell arithmetic.
+package osiris
+
+import (
+	"fmt"
+
+	"fbufs/internal/aggregate"
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/xkernel"
+)
+
+// VCI identifies a virtual circuit.
+type VCI uint32
+
+// MaxCachedVCIs is the size of the driver's per-path preallocation table.
+const MaxCachedVCIs = 16
+
+// TxPDU is an outgoing PDU handed to the board: its wire bytes (gathered
+// by DMA from the message's fbufs) and the CPU-time offset within the
+// current task at which the protocol stack finished preparing it — the
+// netsim host uses the offset to start each PDU's DMA as soon as it is
+// ready, pipelining fragmentation with transmission.
+type TxPDU struct {
+	VCI       VCI
+	Data      []byte
+	CPUOffset simtime.Duration
+}
+
+// Driver is the Osiris device driver: the bottom layer of the protocol
+// graph, running in the kernel domain.
+type Driver struct {
+	xkernel.Base
+	env *xkernel.Env
+
+	// TxVCI stamps outgoing PDUs.
+	TxVCI VCI
+
+	// AutoInstall makes the driver add a cached path for a previously
+	// unseen VCI after its first (uncached) PDU, keeping the table at the
+	// 16 most recently used circuits. On by default, as in the paper.
+	AutoInstall bool
+
+	// CPUOffset reports metered CPU time consumed so far in the current
+	// task (set by the netsim host); zero when unset.
+	CPUOffset func() simtime.Duration
+
+	txq []TxPDU
+
+	// VCI table: cached reassembly paths, LRU-ordered (front = oldest).
+	vcis    map[VCI]*vciEntry
+	lru     []VCI
+	rxOpts  core.Options
+	rxDoms  []*domain.Domain // receive data path, kernel first
+	rxPages int              // reassembly fbuf size in pages
+	uctx    *aggregate.Ctx   // lazy, for unknown-VCI (uncached) buffers
+
+	// Stats
+	TxPDUs, RxPDUs   uint64
+	RxCachedAllocs   uint64
+	RxUncachedAllocs uint64
+	VCIEvictions     uint64
+}
+
+type vciEntry struct {
+	path *core.DataPath
+	ctx  *aggregate.Ctx
+}
+
+// NewDriver creates the driver in the kernel domain. rxDoms is the
+// sequence of domains incoming data traverses (kernel first); rxPages
+// sizes the reassembly buffers (ceil of max wire PDU).
+func NewDriver(env *xkernel.Env, opts core.Options, rxDoms []*domain.Domain, rxPages int) *Driver {
+	d := &Driver{
+		Base:        xkernel.NewBase("osiris", env.Reg.Kernel()),
+		env:         env,
+		vcis:        make(map[VCI]*vciEntry),
+		rxOpts:      opts,
+		rxDoms:      rxDoms,
+		rxPages:     rxPages,
+		AutoInstall: true,
+		CPUOffset:   func() simtime.Duration { return 0 },
+	}
+	return d
+}
+
+// Push gathers the PDU's bytes by DMA (no CPU data touching: the board is
+// a bus master reading the fbufs' frames directly) and queues it for
+// transmission, then releases the kernel's buffer references.
+func (d *Driver) Push(m *aggregate.Msg) error {
+	d.env.Sys.Sink().Charge(d.env.Sys.Cost.DriverPerPDU)
+	data := make([]byte, 0, m.Len())
+	for _, s := range m.Segs() {
+		if s.F == nil {
+			// Absence of data (volatile dangling reference): wire
+			// carries zeros.
+			data = append(data, make([]byte, s.N)...)
+			continue
+		}
+		chunk := make([]byte, s.N)
+		if err := s.F.DMARead(int(s.VA-s.F.Base), chunk); err != nil {
+			return err
+		}
+		data = append(data, chunk...)
+	}
+	d.txq = append(d.txq, TxPDU{VCI: d.TxVCI, Data: data, CPUOffset: d.CPUOffset()})
+	d.TxPDUs++
+	return m.Free(d.Dom())
+}
+
+// TakeTxQueue drains the transmit queue (the netsim host flushes it after
+// each CPU task).
+func (d *Driver) TakeTxQueue() []TxPDU {
+	q := d.txq
+	d.txq = nil
+	return q
+}
+
+// Deliver is invalid: nothing is below the driver.
+func (d *Driver) Deliver(m *aggregate.Msg) error {
+	return fmt.Errorf("osiris: driver has no layer below")
+}
+
+// AddVCI installs a cached per-path reassembly allocator for the circuit,
+// evicting the least recently used entry beyond MaxCachedVCIs.
+func (d *Driver) AddVCI(v VCI) error {
+	if _, ok := d.vcis[v]; ok {
+		d.touchVCI(v)
+		return nil
+	}
+	if len(d.lru) >= MaxCachedVCIs {
+		victim := d.lru[0]
+		d.lru = d.lru[1:]
+		e := d.vcis[victim]
+		delete(d.vcis, victim)
+		if err := e.ctx.Close(); err != nil {
+			return err
+		}
+		d.env.Mgr.ClosePath(e.path)
+		d.VCIEvictions++
+	}
+	path, err := d.env.Mgr.NewPath(fmt.Sprintf("vci-%d", v), d.rxOpts, d.rxPages, d.rxDoms...)
+	if err != nil {
+		return err
+	}
+	path.SetQuota(32)
+	ctx, err := aggregate.NewCtx(d.env.Mgr, path, d.rxOpts.Integrated)
+	if err != nil {
+		return err
+	}
+	d.vcis[v] = &vciEntry{path: path, ctx: ctx}
+	d.lru = append(d.lru, v)
+	return nil
+}
+
+func (d *Driver) touchVCI(v VCI) {
+	for i, e := range d.lru {
+		if e == v {
+			d.lru = append(append(d.lru[:i], d.lru[i+1:]...), v)
+			return
+		}
+	}
+}
+
+// CachedVCIs returns the number of installed cached circuits.
+func (d *Driver) CachedVCIs() int { return len(d.lru) }
+
+// Receive accepts a fully reassembled wire PDU from the board (the DMA
+// into main memory has already been costed on the bus by netsim; here the
+// driver charges interrupt and processing time, places the data in an fbuf
+// of the VCI's path — or an uncached fbuf for unknown circuits — and
+// delivers it up the stack).
+func (d *Driver) Receive(v VCI, data []byte) error {
+	cost := d.env.Sys.Cost
+	d.env.Sys.Sink().Charge(cost.InterruptCost + cost.DriverPerPDU)
+	d.RxPDUs++
+	pages := (len(data) + machine.PageSize - 1) / machine.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	var m *aggregate.Msg
+	if e, ok := d.vcis[v]; ok && pages <= e.path.FbufPages() {
+		d.touchVCI(v)
+		f, err := e.path.Alloc()
+		if err != nil {
+			return err
+		}
+		if err := f.DMAWrite(0, data); err != nil {
+			return err
+		}
+		m, err = e.ctx.WrapFbuf(f, 0, len(data))
+		if err != nil {
+			return err
+		}
+		d.RxCachedAllocs++
+	} else {
+		opts := d.rxOpts
+		opts.Cached = false
+		// The board will DMA the whole PDU into the buffer, so only the
+		// tail beyond the PDU needs a security clear.
+		f, err := d.env.Mgr.AllocUncachedFill(d.Dom(), pages, opts, len(data))
+		if err != nil {
+			return err
+		}
+		if err := f.DMAWrite(0, data); err != nil {
+			return err
+		}
+		if d.uctx == nil {
+			d.uctx = aggregate.NewUncachedCtx(d.env.Mgr, d.Dom(), opts, 1, opts.Integrated)
+		}
+		m, err = d.uctx.WrapFbuf(f, 0, len(data))
+		if err != nil {
+			return err
+		}
+		d.RxUncachedAllocs++
+		// The table tracks the 16 most recently used data paths: traffic
+		// on a new circuit earns it a cached allocator (possibly evicting
+		// the LRU one). Oversized PDUs stay uncached.
+		if d.AutoInstall && pages <= d.rxPages {
+			if err := d.AddVCI(v); err != nil {
+				return err
+			}
+		}
+	}
+	return d.DeliverAbove(m)
+}
+
+// CellCount returns the number of ATM cells a PDU occupies.
+func CellCount(cost *machine.CostTable, bytes int) int {
+	p := cost.ATMCellPayload
+	n := (bytes + p - 1) / p
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// BusTime returns the TurboChannel occupancy to DMA a PDU's cells,
+// including memory-contention stalls.
+func BusTime(cost *machine.CostTable, bytes int) simtime.Duration {
+	return simtime.Duration(CellCount(cost, bytes)) * (cost.BusCellDMA + cost.BusContention)
+}
+
+// LinkTime returns the null-modem serialization time for a PDU's cells.
+func LinkTime(cost *machine.CostTable, bytes int) simtime.Duration {
+	return simtime.Duration(CellCount(cost, bytes)) * cost.LinkCell
+}

@@ -1,0 +1,39 @@
+package protocols
+
+import (
+	"fmt"
+
+	"fbufs/internal/aggregate"
+	"fbufs/internal/xkernel"
+)
+
+// Loopback is the pseudo-driver configured below IP in the paper's third
+// experiment: "it turns PDUs around and sends them back up the protocol
+// stack. The use of a loopback protocol rather than a real device driver
+// simulates an infinitely fast network" — isolating software costs from
+// I/O-bus and link limits.
+type Loopback struct {
+	xkernel.Base
+	env *xkernel.Env
+
+	// PDUs counts turned-around PDUs.
+	PDUs uint64
+}
+
+// NewLoopback creates the loopback layer in the same domain as the layer
+// above it (IP).
+func NewLoopback(env *xkernel.Env, ctx *aggregate.Ctx) *Loopback {
+	return &Loopback{Base: xkernel.NewBase("loopback", ctx.Dom), env: env}
+}
+
+// Push charges driver processing and immediately delivers the PDU back up.
+func (l *Loopback) Push(m *aggregate.Msg) error {
+	l.env.Sys.Sink().Charge(l.env.Sys.Cost.DriverPerPDU)
+	l.PDUs++
+	return l.DeliverAbove(m)
+}
+
+// Deliver never happens: nothing is below a loopback.
+func (l *Loopback) Deliver(m *aggregate.Msg) error {
+	return fmt.Errorf("protocols: loopback has no layer below")
+}

@@ -1,0 +1,366 @@
+package protocols
+
+import (
+	"testing"
+
+	"fbufs/internal/aggregate"
+
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+	"fbufs/internal/xkernel"
+)
+
+type rig struct {
+	clk *simtime.Clock
+	sys *vm.System
+	reg *domain.Registry
+	mgr *core.Manager
+	env *xkernel.Env
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 16384, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := core.NewManager(sys, reg)
+	mgr.EmptyLeafInit = nil
+	env := xkernel.NewEnv(sys, mgr, reg)
+	return &rig{clk: clk, sys: sys, reg: reg, mgr: mgr, env: env}
+}
+
+func (r *rig) threeDomains() (src, net, sink *domain.Domain) {
+	src = r.reg.New("app")
+	net = r.reg.New("netserver")
+	sink = r.reg.New("receiver")
+	return
+}
+
+func (r *rig) singleDomain() (src, net, sink *domain.Domain) {
+	d := r.reg.New("monolith")
+	return d, d, d
+}
+
+func (r *rig) cfgSingle() StackConfig {
+	src, net, sink := r.singleDomain()
+	return stackCfg(src, net, sink, core.CachedVolatile())
+}
+
+func stackCfg(src, net, sink *domain.Domain, opts core.Options) StackConfig {
+	return StackConfig{
+		Src: src, Net: net, Sink: sink,
+		Opts:     opts,
+		PDUBytes: 4096,
+	}
+}
+
+func TestLoopbackIntegritySingleDomain(t *testing.T) {
+	r := newRig(t)
+	src, net, sink := r.singleDomain()
+	s, err := NewLoopbackStack(r.env, stackCfg(src, net, sink, core.CachedVolatile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sink.Verify = true
+	for seq := uint64(0); seq < 3; seq++ {
+		if err := s.SendVerified(seq, 20000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Sink.ReceivedMsgs != 3 || s.Sink.ReceivedBytes != 60000 {
+		t.Fatalf("sink got %d msgs / %d bytes", s.Sink.ReceivedMsgs, s.Sink.ReceivedBytes)
+	}
+	if s.Sink.VerifyFailures != 0 {
+		t.Fatalf("%d verify failures", s.Sink.VerifyFailures)
+	}
+	// 20000 bytes over 4096-byte PDUs = 5 fragments per message.
+	if s.IP.SentPDUs != 15 || s.IP.Reassembled != 3 {
+		t.Fatalf("IP stats: %d PDUs, %d reassembled", s.IP.SentPDUs, s.IP.Reassembled)
+	}
+	if err := r.mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackIntegrityThreeDomains(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"cached-volatile-integrated", core.CachedVolatile()},
+		{"cached-volatile-private", func() core.Options { o := core.CachedVolatile(); o.Integrated = false; return o }()},
+		{"uncached", func() core.Options { o := core.Uncached(); o.NoClear = true; return o }()},
+		{"cached-nonvolatile", core.CachedNonVolatile()},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			r := newRig(t)
+			src, net, sink := r.threeDomains()
+			s, err := NewLoopbackStack(r.env, stackCfg(src, net, sink, mode.opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Sink.Verify = true
+			for seq := uint64(0); seq < 3; seq++ {
+				if err := s.SendVerified(seq, 33000); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s.Sink.ReceivedMsgs != 3 {
+				t.Fatalf("sink got %d msgs", s.Sink.ReceivedMsgs)
+			}
+			if s.Sink.VerifyFailures != 0 {
+				t.Fatalf("%d verify failures", s.Sink.VerifyFailures)
+			}
+			// Two crossings per message: app->netserver, netserver->receiver.
+			if got := r.env.Router.Calls; got != 6 {
+				t.Fatalf("IPC calls %d, want 6", got)
+			}
+			if err := r.mgr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLoopbackSmallMessageNoFragmentation(t *testing.T) {
+	r := newRig(t)
+	s, err := NewLoopbackStack(r.env, r.cfgSingle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.IP.SentPDUs != 1 {
+		t.Fatalf("sent %d PDUs for sub-PDU message", s.IP.SentPDUs)
+	}
+}
+
+func TestFragSetupChargedOnlyWhenFragmenting(t *testing.T) {
+	r := newRig(t)
+	s, err := NewLoopbackStack(r.env, r.cfgSingle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache.
+	if err := s.Send(4096 - UDPHeaderBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(8192); err != nil {
+		t.Fatal(err)
+	}
+
+	start := r.clk.Now()
+	if err := s.Send(4096 - UDPHeaderBytes); err != nil { // fits one PDU
+		t.Fatal(err)
+	}
+	small := r.clk.Now() - start
+
+	start = r.clk.Now()
+	if err := s.Send(8192); err != nil { // must fragment
+		t.Fatal(err)
+	}
+	big := r.clk.Now() - start
+
+	// The fragmented message must carry at least the fixed frag-setup
+	// cost beyond twice the small message's per-PDU work — the source of
+	// the Figure 4 anomaly.
+	if big < small+r.sys.Cost.IPFragSetup {
+		t.Errorf("4KB msg %v, 8KB msg %v: fragmentation overhead missing", small, big)
+	}
+}
+
+func TestUDPChecksum(t *testing.T) {
+	r := newRig(t)
+	cfg := r.cfgSingle()
+	cfg.Checksum = true
+	s, err := NewLoopbackStack(r.env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sink.Verify = true
+	if err := s.SendVerified(0, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sink.ReceivedMsgs != 1 || s.Sink.VerifyFailures != 0 {
+		t.Fatalf("checksummed delivery failed: %d msgs, %d failures",
+			s.Sink.ReceivedMsgs, s.Sink.VerifyFailures)
+	}
+	if s.UDP.Dropped != 0 {
+		t.Fatalf("dropped %d", s.UDP.Dropped)
+	}
+}
+
+func TestUDPDemuxDropsUnknownPort(t *testing.T) {
+	r := newRig(t)
+	s, err := NewLoopbackStack(r.env, r.cfgSingle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UDP.RemotePort = 9999 // nobody bound
+	if err := s.Send(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.UDP.Dropped != 1 || s.Sink.ReceivedMsgs != 0 {
+		t.Fatalf("dropped=%d received=%d", s.UDP.Dropped, s.Sink.ReceivedMsgs)
+	}
+	// The dropped message's buffers must have been freed.
+	if err := r.mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPOutOfOrderReassembly(t *testing.T) {
+	// Drive IP.Deliver directly with out-of-order fragments.
+	r := newRig(t)
+	d := r.reg.New("net")
+	p, err := r.mgr.NewPath("p", core.CachedVolatile(), 2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := aggregate.NewCtx(r.mgr, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := NewIP(r.env, ctx, 4096)
+	sink := NewTestProto(r.env, ctx)
+	sink.Verify = false
+	ip.SetAbove(sink)
+
+	payload := make([]byte, 10000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	mk := func(off, n int, more bool) error {
+		frag, err := ctx.NewData(payload[off : off+n])
+		if err != nil {
+			return err
+		}
+		hdr := ip.header(42, off, n, len(payload), more)
+		m, err := ctx.Push(frag, hdr)
+		if err != nil {
+			return err
+		}
+		return ip.Deliver(m)
+	}
+	// Send middle, last, first.
+	if err := mk(4096, 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(8192, 10000-8192, false); err != nil {
+		t.Fatal(err)
+	}
+	if sink.ReceivedMsgs != 0 {
+		t.Fatal("delivered with a hole")
+	}
+	if err := mk(0, 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	if sink.ReceivedMsgs != 1 || sink.ReceivedBytes != 10000 {
+		t.Fatalf("reassembly: %d msgs %d bytes", sink.ReceivedMsgs, sink.ReceivedBytes)
+	}
+}
+
+func TestIPDuplicateFragmentTolerated(t *testing.T) {
+	r := newRig(t)
+	d := r.reg.New("net")
+	p, err := r.mgr.NewPath("p", core.CachedVolatile(), 2, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := aggregate.NewCtx(r.mgr, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := NewIP(r.env, ctx, 4096)
+	sink := NewTestProto(r.env, ctx)
+	ip.SetAbove(sink)
+
+	payload := make([]byte, 6000)
+	mk := func(off, n int, more bool) error {
+		frag, _ := ctx.NewData(payload[off : off+n])
+		m, err := ctx.Push(frag, ip.header(7, off, n, len(payload), more))
+		if err != nil {
+			return err
+		}
+		return ip.Deliver(m)
+	}
+	if err := mk(0, 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(0, 4096, true); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	if err := mk(4096, 6000-4096, false); err != nil {
+		t.Fatal(err)
+	}
+	if sink.ReceivedMsgs != 1 || sink.ReceivedBytes != 6000 {
+		t.Fatalf("dup handling: %d msgs %d bytes", sink.ReceivedMsgs, sink.ReceivedBytes)
+	}
+	if err := r.mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedStackReusesFbufs(t *testing.T) {
+	r := newRig(t)
+	src, net, sink := r.threeDomains()
+	s, err := NewLoopbackStack(r.env, stackCfg(src, net, sink, core.CachedVolatile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Send(20000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.mgr.Stats
+	if st.CacheHits == 0 {
+		t.Fatal("no allocator cache hits across repeated sends")
+	}
+	// In the steady state, transfers build no new mappings.
+	before := st.MappingsBuilt
+	if err := s.Send(20000); err != nil {
+		t.Fatal(err)
+	}
+	if r.mgr.Stats.MappingsBuilt != before {
+		t.Fatalf("steady-state send built %d mappings",
+			r.mgr.Stats.MappingsBuilt-before)
+	}
+}
+
+func TestCachedFasterThanUncachedLoopback(t *testing.T) {
+	// The headline Figure 4 claim: cached fbufs more than double
+	// throughput over uncached fbufs in the 3-domain loopback test.
+	measure := func(opts core.Options) float64 {
+		r := newRig(t)
+		src, net, sink := r.threeDomains()
+		s, err := NewLoopbackStack(r.env, stackCfg(src, net, sink, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 64 * 1024
+		s.Send(n) // warm up
+		start := r.clk.Now()
+		const iters = 5
+		for i := 0; i < iters; i++ {
+			if err := s.Send(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return simtime.Mbps(int64(n*iters), r.clk.Now()-start)
+	}
+	// The uncached configuration still runs the integrated system (as the
+	// paper's x-kernel did) and pays full clearing costs.
+	uncached := core.Uncached()
+	uncached.Integrated = true
+	cachedRate := measure(core.CachedVolatile())
+	uncachedRate := measure(uncached)
+	if cachedRate < 2*uncachedRate {
+		t.Errorf("64KB loopback: cached %.0f Mb/s not 2x uncached %.0f Mb/s",
+			cachedRate, uncachedRate)
+	}
+}

@@ -1,0 +1,102 @@
+package protocols
+
+import (
+	"fmt"
+
+	"fbufs/internal/aggregate"
+	"fbufs/internal/xkernel"
+)
+
+// TestProto is the paper's test protocol: at the sending end it creates
+// messages and pushes them down; at the receiving end it plays the "dummy
+// protocol" that touches one word in each page of the received message,
+// deallocates it, and returns.
+type TestProto struct {
+	xkernel.Base
+	env *xkernel.Env
+	ctx *aggregate.Ctx
+
+	// Verify makes the sink check payload contents against the pattern
+	// the source wrote (integrity testing; more expensive than a touch).
+	Verify bool
+	// OnDeliver, if set, runs after a message is consumed — the
+	// end-to-end harness hooks window acknowledgements here.
+	OnDeliver func(n int)
+
+	// Stats
+	SentMsgs, SentBytes         uint64
+	ReceivedMsgs, ReceivedBytes uint64
+	VerifyFailures              uint64
+}
+
+// NewTestProto creates a test endpoint allocating from ctx.
+func NewTestProto(env *xkernel.Env, ctx *aggregate.Ctx) *TestProto {
+	return &TestProto{Base: xkernel.NewBase("test", ctx.Dom), env: env, ctx: ctx}
+}
+
+// Pattern returns the deterministic payload byte for position i of a
+// message with the given sequence number.
+func Pattern(seq uint64, i int) byte { return byte(uint64(i)*167 + seq*13 + 5) }
+
+// Send builds an n-byte message and pushes it down the stack.
+func (t *TestProto) Send(seq uint64, n int) error {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = Pattern(seq, i)
+	}
+	m, err := t.ctx.NewData(data)
+	if err != nil {
+		return err
+	}
+	t.SentMsgs++
+	t.SentBytes += uint64(n)
+	return t.PushBelow(m)
+}
+
+// SendUntouched builds an n-byte message by touching one word per page
+// rather than filling it — the paper's throughput-test access pattern
+// ("writes one word in each VM page").
+func (t *TestProto) SendUntouched(n int) error {
+	m, err := t.ctx.NewTouched(n)
+	if err != nil {
+		return err
+	}
+	t.SentMsgs++
+	t.SentBytes += uint64(n)
+	return t.PushBelow(m)
+}
+
+// Deliver consumes a received message: touch (or verify) and free.
+func (t *TestProto) Deliver(m *aggregate.Msg) error {
+	n := m.Len()
+	if t.Verify {
+		data, err := m.ReadAll(t.Dom())
+		if err != nil {
+			return err
+		}
+		for i, b := range data {
+			if b != Pattern(uint64(t.ReceivedMsgs), i) {
+				t.VerifyFailures++
+				break
+			}
+		}
+	} else {
+		if err := m.Touch(t.Dom()); err != nil {
+			return err
+		}
+	}
+	if err := m.Free(t.Dom()); err != nil {
+		return err
+	}
+	t.ReceivedMsgs++
+	t.ReceivedBytes += uint64(n)
+	if t.OnDeliver != nil {
+		t.OnDeliver(n)
+	}
+	return nil
+}
+
+// Push is invalid on a test endpoint (nothing sits above it).
+func (t *TestProto) Push(m *aggregate.Msg) error {
+	return fmt.Errorf("protocols: test protocol is a top-level endpoint")
+}

@@ -1,0 +1,530 @@
+// Package vm implements the simulated two-level virtual memory system that
+// the fbuf mechanism is built on: per-address-space page tables beneath a
+// machine-independent region map, protection bits enforced on every
+// simulated access, an ASID-tagged software-refilled TLB, and page-fault
+// handling with pluggable per-region handlers (used for copy-on-write, lazy
+// fbuf frame fill, and the volatile-fbuf read-to-empty-leaf rule).
+//
+// Every mapping, protection, and TLB operation charges its calibrated cost
+// (machine.CostTable) to the system's cost sink, mirroring the accounting
+// the paper does on the DecStation: "the time it takes to switch to
+// supervisor mode, acquire necessary locks to VM data structures, change VM
+// mappings perhaps at several levels for each page, perform TLB/cache
+// consistency actions..." (section 2.2.1).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fbufs/internal/machine"
+	"fbufs/internal/mem"
+	"fbufs/internal/simtime"
+)
+
+// VA is a virtual address.
+type VA uint64
+
+// VPN returns the virtual page number of the address.
+func (a VA) VPN() uint64 { return uint64(a) >> machine.PageShift }
+
+// PageOffset returns the offset of the address within its page.
+func (a VA) PageOffset() int { return int(uint64(a) & (machine.PageSize - 1)) }
+
+// PageBase returns the address of the start of the page containing a.
+func (a VA) PageBase() VA { return a &^ VA(machine.PageSize-1) }
+
+// Prot is a page protection.
+type Prot uint8
+
+// Protection bits. Write does not imply Read; use ReadWrite for both.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+
+	ReadWrite = ProtRead | ProtWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ReadWrite:
+		return "rw-"
+	}
+	return fmt.Sprintf("Prot(%d)", uint8(p))
+}
+
+// CostSink receives simulated-time charges. *simtime.Clock satisfies it via
+// the adapter in package netsim; single-host experiments use ClockSink.
+type CostSink interface {
+	Charge(d simtime.Duration)
+}
+
+// ClockSink adapts a simtime.Clock to CostSink.
+type ClockSink struct{ Clock *simtime.Clock }
+
+// Charge advances the underlying clock.
+func (s ClockSink) Charge(d simtime.Duration) { s.Clock.Advance(d) }
+
+// Meter is a CostSink that accumulates charges; the event-driven experiments
+// meter a logical task and then occupy the host CPU for the accumulated
+// duration.
+type Meter struct{ Total simtime.Duration }
+
+// Charge accumulates d.
+func (m *Meter) Charge(d simtime.Duration) { m.Total += d }
+
+// Take returns the accumulated total and resets the meter.
+func (m *Meter) Take() simtime.Duration {
+	t := m.Total
+	m.Total = 0
+	return t
+}
+
+// AccessError reports a memory access violation in a simulated domain: a
+// protection fault with no handler willing to resolve it. It models the
+// "memory access violation exception" the paper specifies for illegal
+// writes to fbufs.
+type AccessError struct {
+	ASID  int
+	VA    VA
+	Write bool
+	Cause string
+}
+
+func (e *AccessError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("vm: access violation: %s of %#x in asid %d: %s", op, uint64(e.VA), e.ASID, e.Cause)
+}
+
+// ErrNoMapping is wrapped into AccessError causes.
+var ErrNoMapping = errors.New("no mapping")
+
+// FaultHandler is invoked on a page fault within its region, after the
+// FaultTrap cost has been charged. It should resolve the fault (typically by
+// establishing or upgrading a mapping) and return nil, after which the
+// access retries once; returning an error converts the fault into an
+// AccessError delivered to the simulated program.
+type FaultHandler func(as *AddrSpace, va VA, write bool) error
+
+// Region is a machine-independent map entry: a contiguous VA range with a
+// name and an optional fault handler.
+type Region struct {
+	Start   VA
+	Pages   int
+	Name    string
+	Handler FaultHandler
+}
+
+// End returns the first address past the region.
+func (r *Region) End() VA { return r.Start + VA(r.Pages*machine.PageSize) }
+
+// Contains reports whether va lies inside the region.
+func (r *Region) Contains(va VA) bool { return va >= r.Start && va < r.End() }
+
+// PTE is a machine-dependent page table entry.
+type PTE struct {
+	Frame mem.FrameNum
+	Prot  Prot
+	// COW marks the page copy-on-write: a write fault should copy the
+	// frame if it is shared rather than fail.
+	COW bool
+}
+
+// System bundles the simulated memory hardware shared by all address spaces
+// on one host: the frame pool, the TLB, the cost table, and the cost sink.
+type System struct {
+	Cost *machine.CostTable
+	Mem  *mem.PhysMem
+	TLB  *machine.TLB
+
+	sink     CostSink
+	nextASID int
+
+	// Stats
+	Faults     uint64
+	Violations uint64
+}
+
+// NewSystem creates a VM system with the given frame pool size.
+func NewSystem(cost *machine.CostTable, frames int, sink CostSink) *System {
+	return &System{
+		Cost: cost,
+		Mem:  mem.New(frames),
+		TLB:  machine.NewTLB(0),
+		sink: sink,
+	}
+}
+
+// SetSink replaces the cost sink (the event-driven harness swaps in a Meter
+// around each logical task).
+func (s *System) SetSink(sink CostSink) { s.sink = sink }
+
+// Sink returns the current cost sink.
+func (s *System) Sink() CostSink { return s.sink }
+
+func (s *System) charge(d simtime.Duration) {
+	if s.sink != nil {
+		s.sink.Charge(d)
+	}
+}
+
+// AddrSpace is one protection domain's address space: a region list over a
+// page table.
+type AddrSpace struct {
+	Sys  *System
+	ASID int
+	Name string
+
+	regions []*Region // sorted by Start
+	pt      map[uint64]PTE
+
+	// Private-VA bump allocator with exact-size free lists.
+	nextVA  VA
+	freeVAs map[int][]VA // pages -> reusable starts
+	vaLimit VA
+}
+
+// Private address-space layout: per-domain private allocations live in
+// [PrivateBase, PrivateLimit). The globally shared fbuf region is above
+// this; its layout is owned by package core.
+const (
+	PrivateBase  VA = 0x0000_0010_0000
+	PrivateLimit VA = 0x0000_4000_0000
+)
+
+// NewAddrSpace creates an address space in the system.
+func (s *System) NewAddrSpace(name string) *AddrSpace {
+	s.nextASID++
+	return &AddrSpace{
+		Sys:     s,
+		ASID:    s.nextASID,
+		Name:    name,
+		pt:      make(map[uint64]PTE),
+		nextVA:  PrivateBase,
+		freeVAs: make(map[int][]VA),
+		vaLimit: PrivateLimit,
+	}
+}
+
+// --- Region (machine-independent map) management ---
+
+// AddRegion inserts a region. Regions may not overlap.
+func (as *AddrSpace) AddRegion(r *Region) error {
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].Start >= r.Start })
+	if i > 0 && as.regions[i-1].End() > r.Start {
+		return fmt.Errorf("vm: region %q overlaps %q", r.Name, as.regions[i-1].Name)
+	}
+	if i < len(as.regions) && r.End() > as.regions[i].Start {
+		return fmt.Errorf("vm: region %q overlaps %q", r.Name, as.regions[i].Name)
+	}
+	as.regions = append(as.regions, nil)
+	copy(as.regions[i+1:], as.regions[i:])
+	as.regions[i] = r
+	return nil
+}
+
+// RemoveRegion removes a region previously added.
+func (as *AddrSpace) RemoveRegion(r *Region) {
+	for i, e := range as.regions {
+		if e == r {
+			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			return
+		}
+	}
+}
+
+// FindRegion locates the region containing va, or nil.
+func (as *AddrSpace) FindRegion(va VA) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].End() > va })
+	if i < len(as.regions) && as.regions[i].Contains(va) {
+		return as.regions[i]
+	}
+	return nil
+}
+
+// Regions returns the region list (read-only use).
+func (as *AddrSpace) Regions() []*Region { return as.regions }
+
+// --- VA allocation (private ranges) ---
+
+// AllocVA reserves a private virtual address range of npages pages,
+// charging the per-fbuf VA allocation cost.
+func (as *AddrSpace) AllocVA(npages int) (VA, error) {
+	as.Sys.charge(as.Sys.Cost.VAAlloc)
+	if lst := as.freeVAs[npages]; len(lst) > 0 {
+		va := lst[len(lst)-1]
+		as.freeVAs[npages] = lst[:len(lst)-1]
+		return va, nil
+	}
+	need := VA(npages * machine.PageSize)
+	if as.nextVA+need > as.vaLimit {
+		return 0, fmt.Errorf("vm: %s: private VA space exhausted", as.Name)
+	}
+	va := as.nextVA
+	as.nextVA += need
+	return va, nil
+}
+
+// FreeVA releases a range obtained from AllocVA.
+func (as *AddrSpace) FreeVA(va VA, npages int) {
+	as.Sys.charge(as.Sys.Cost.VAFree)
+	as.freeVAs[npages] = append(as.freeVAs[npages], va)
+}
+
+// --- Page table operations (each charges its calibrated cost) ---
+
+// Map establishes a mapping from the page containing va to frame with the
+// given protection, taking a reference on the frame. Adding a mapping needs
+// no TLB shootdown.
+func (as *AddrSpace) Map(va VA, frame mem.FrameNum, prot Prot) {
+	as.Sys.charge(as.Sys.Cost.PTEMap)
+	vpn := va.VPN()
+	if old, ok := as.pt[vpn]; ok {
+		// Replacing a mapping: release the old frame.
+		as.Sys.Mem.DecRef(old.Frame)
+		as.Sys.TLB.Invalidate(as.ASID, vpn)
+	}
+	as.Sys.Mem.AddRef(frame)
+	as.pt[vpn] = PTE{Frame: frame, Prot: prot}
+}
+
+// MapOwned is Map for a frame the caller just allocated (which already
+// carries its initial reference); no additional reference is taken.
+func (as *AddrSpace) MapOwned(va VA, frame mem.FrameNum, prot Prot) {
+	as.Sys.charge(as.Sys.Cost.PTEMap)
+	vpn := va.VPN()
+	if old, ok := as.pt[vpn]; ok {
+		as.Sys.Mem.DecRef(old.Frame)
+		as.Sys.TLB.Invalidate(as.ASID, vpn)
+	}
+	as.pt[vpn] = PTE{Frame: frame, Prot: prot}
+}
+
+// Unmap removes the mapping for the page containing va, dropping the frame
+// reference. Invalidation uses the lazy ASID-flush discipline (cheaper than
+// a protection downgrade). It reports whether the frame was freed.
+func (as *AddrSpace) Unmap(va VA) bool {
+	vpn := va.VPN()
+	pte, ok := as.pt[vpn]
+	if !ok {
+		return false
+	}
+	as.Sys.charge(as.Sys.Cost.PTEUnmap)
+	delete(as.pt, vpn)
+	as.Sys.TLB.Invalidate(as.ASID, vpn)
+	return as.Sys.Mem.DecRef(pte.Frame)
+}
+
+// UnmapSync removes the mapping for the page containing va with immediate
+// TLB/cache consistency (the semantics a move-style remap facility needs:
+// the sender must lose access before the receiver proceeds). It charges the
+// full protection-change cost rather than the lazy unmap cost. It reports
+// whether the frame was freed.
+func (as *AddrSpace) UnmapSync(va VA) bool {
+	vpn := va.VPN()
+	pte, ok := as.pt[vpn]
+	if !ok {
+		return false
+	}
+	as.Sys.charge(as.Sys.Cost.ProtChange)
+	delete(as.pt, vpn)
+	as.Sys.TLB.Invalidate(as.ASID, vpn)
+	return as.Sys.Mem.DecRef(pte.Frame)
+}
+
+// SetProt changes the protection on a mapped page, with full TLB/cache
+// consistency (the expensive operation at the center of the volatile-fbuf
+// tradeoff). It reports whether the page was mapped.
+func (as *AddrSpace) SetProt(va VA, prot Prot) bool {
+	vpn := va.VPN()
+	pte, ok := as.pt[vpn]
+	if !ok {
+		return false
+	}
+	as.Sys.charge(as.Sys.Cost.ProtChange)
+	pte.Prot = prot
+	as.pt[vpn] = pte
+	as.Sys.TLB.Invalidate(as.ASID, vpn)
+	return true
+}
+
+// SetCOW marks a mapped page copy-on-write with at most read permission.
+// This is the cheap high-level-map-only marking of Mach's lazy COW; the
+// cost charged is COWMark, and the page's physical protection change is
+// deferred to fault time.
+func (as *AddrSpace) SetCOW(va VA) bool {
+	vpn := va.VPN()
+	pte, ok := as.pt[vpn]
+	if !ok {
+		return false
+	}
+	as.Sys.charge(as.Sys.Cost.COWMark)
+	pte.COW = true
+	pte.Prot &^= ProtWrite
+	as.pt[vpn] = pte
+	// Lazy: no TLB shootdown here; the stale-TLB window is modelled by
+	// the write fault that Mach takes on next write (see Translate).
+	return true
+}
+
+// Lookup returns the PTE for the page containing va.
+func (as *AddrSpace) Lookup(va VA) (PTE, bool) {
+	pte, ok := as.pt[va.VPN()]
+	return pte, ok
+}
+
+// MappedPages returns the number of valid PTEs (tests, leak checks).
+func (as *AddrSpace) MappedPages() int { return len(as.pt) }
+
+// --- Simulated access path ---
+
+// Translate resolves va for an access of the given kind, charging TLB-miss
+// and fault costs, invoking fault handlers as needed. On success it returns
+// the frame.
+func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
+	sys := as.Sys
+	if sys.TLB.Touch(as.ASID, va.VPN()) {
+		sys.charge(sys.Cost.TLBMiss)
+	}
+	for attempt := 0; ; attempt++ {
+		pte, ok := as.pt[va.VPN()]
+		need := ProtRead
+		if write {
+			need = ProtWrite
+		}
+		if ok && pte.Prot&need != 0 {
+			return pte.Frame, nil
+		}
+		// Fault path.
+		sys.Faults++
+		sys.charge(sys.Cost.FaultTrap)
+		if ok && pte.COW && write {
+			if err := as.resolveCOW(va, pte); err != nil {
+				return mem.NoFrame, err
+			}
+			continue
+		}
+		if attempt == 0 {
+			if r := as.FindRegion(va); r != nil && r.Handler != nil {
+				if err := r.Handler(as, va, write); err == nil {
+					continue
+				} else {
+					sys.Violations++
+					return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: err.Error()}
+				}
+			}
+		}
+		sys.Violations++
+		cause := ErrNoMapping.Error()
+		if ok {
+			cause = fmt.Sprintf("protection %v denies access", pte.Prot)
+		}
+		return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: cause}
+	}
+}
+
+// resolveCOW handles a write fault on a COW page: if the frame is shared,
+// allocate a private copy (charging frame-alloc and page-copy costs);
+// either way restore write permission and clear COW.
+func (as *AddrSpace) resolveCOW(va VA, pte PTE) error {
+	sys := as.Sys
+	f := sys.Mem.Frame(pte.Frame)
+	if f.RefCount > 1 {
+		nfn, err := sys.Mem.Alloc()
+		if err != nil {
+			return err
+		}
+		sys.charge(sys.Cost.FrameAlloc + sys.Cost.PageCopy)
+		sys.Mem.Copy(nfn, pte.Frame)
+		sys.Mem.DecRef(pte.Frame)
+		pte.Frame = nfn
+	}
+	sys.charge(sys.Cost.PTEMap) // PTE fix-up
+	pte.COW = false
+	pte.Prot |= ProtWrite | ProtRead
+	as.pt[va.VPN()] = pte
+	sys.TLB.Invalidate(as.ASID, va.VPN())
+	return nil
+}
+
+// Write stores data at va, splitting at page boundaries, enforcing
+// protections, and charging access costs.
+func (as *AddrSpace) Write(va VA, data []byte) error {
+	for len(data) > 0 {
+		fn, err := as.Translate(va, true)
+		if err != nil {
+			return err
+		}
+		off := va.PageOffset()
+		n := machine.PageSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		as.Sys.Mem.Write(fn, off, data[:n])
+		data = data[n:]
+		va += VA(n)
+	}
+	return nil
+}
+
+// Read loads len(buf) bytes from va into buf, splitting at page boundaries.
+func (as *AddrSpace) Read(va VA, buf []byte) error {
+	for len(buf) > 0 {
+		fn, err := as.Translate(va, false)
+		if err != nil {
+			return err
+		}
+		off := va.PageOffset()
+		n := machine.PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		as.Sys.Mem.Read(fn, off, buf[:n])
+		buf = buf[n:]
+		va += VA(n)
+	}
+	return nil
+}
+
+// TouchWrite writes one word at va (the test-protocol access pattern:
+// "writes one word in each VM page").
+func (as *AddrSpace) TouchWrite(va VA, word uint32) error {
+	var b [4]byte
+	b[0] = byte(word)
+	b[1] = byte(word >> 8)
+	b[2] = byte(word >> 16)
+	b[3] = byte(word >> 24)
+	return as.Write(va, b[:])
+}
+
+// TouchRead reads one word at va.
+func (as *AddrSpace) TouchRead(va VA) (uint32, error) {
+	var b [4]byte
+	if err := as.Read(va, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Destroy tears down the address space: all mappings are removed (frames
+// released) and the TLB purged of its ASID. Used for domain termination.
+func (as *AddrSpace) Destroy() {
+	for vpn, pte := range as.pt {
+		as.Sys.charge(as.Sys.Cost.PTEUnmap)
+		as.Sys.Mem.DecRef(pte.Frame)
+		delete(as.pt, vpn)
+	}
+	as.Sys.TLB.InvalidateASID(as.ASID)
+	as.regions = nil
+}

@@ -1,0 +1,512 @@
+// Package xfer implements the cross-domain data-transfer facilities the
+// paper compares fbufs against, behind one interface:
+//
+//   - Copy: software copying through the kernel (copyin + copyout), the
+//     Unix read/write baseline;
+//   - COW: Mach-style copy-on-write with lazy physical-map updates — each
+//     transfer later costs two page faults (receiver touch fault, sender
+//     write fault on buffer reuse), as the paper observes of Mach's
+//     "relatively high per-page overhead";
+//   - Remap: DASH / Tzou-Anderson page remapping with move semantics,
+//     including the allocate/clear/deallocate costs their ping-pong
+//     benchmark omitted (paper section 2.2.1);
+//   - MachNative: Mach's hybrid policy, copying messages under 2 KB and
+//     using COW above;
+//   - Fbuf: adapters running the fbuf facility (any Options) through the
+//     same one-hop experiment shape.
+//
+// Every facility performs the paper's first-experiment loop body per Hop:
+// allocate/reuse a buffer, write one word per page in the sender, transfer,
+// read one word per page in the receiver, free. Data genuinely moves (or is
+// genuinely shared); integrity tests can verify delivered bytes.
+package xfer
+
+import (
+	"fmt"
+
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/mem"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// Facility is one transfer mechanism configured for a fixed message size
+// between a fixed sender and receiver.
+type Facility interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// MsgBytes is the configured message size.
+	MsgBytes() int
+	// Hop performs one sender-to-receiver message transfer, charging all
+	// costs to the VM system's sink.
+	Hop() error
+}
+
+func pagesFor(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + machine.PageSize - 1) / machine.PageSize
+}
+
+// --- Copy ---
+
+// Copier models the classic copying path: sender and receiver each own a
+// persistent private buffer; the kernel copies the data in (to a kernel
+// buffer) and out (to the receiver). Copy cost is prorated by bytes; no
+// mapping operations occur after setup.
+type Copier struct {
+	sys      *vm.System
+	src, dst *domain.Domain
+	bytes    int
+	pages    int
+	srcVA    vm.VA
+	dstVA    vm.VA
+	kbuf     []mem.FrameNum
+}
+
+// NewCopier builds the copy facility for the given message size.
+func NewCopier(sys *vm.System, src, dst *domain.Domain, bytes int) (*Copier, error) {
+	c := &Copier{sys: sys, src: src, dst: dst, bytes: bytes, pages: pagesFor(bytes)}
+	var err error
+	if c.srcVA, err = mapFreshBuffer(src.AS, c.pages); err != nil {
+		return nil, err
+	}
+	if c.dstVA, err = mapFreshBuffer(dst.AS, c.pages); err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.pages; i++ {
+		fn, err := sys.Mem.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		c.kbuf = append(c.kbuf, fn)
+	}
+	return c, nil
+}
+
+func mapFreshBuffer(as *vm.AddrSpace, pages int) (vm.VA, error) {
+	va, err := as.AllocVA(pages)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < pages; i++ {
+		fn, err := as.Sys.Mem.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		as.MapOwned(va+vm.VA(i*machine.PageSize), fn, vm.ReadWrite)
+	}
+	return va, nil
+}
+
+func (c *Copier) Name() string  { return "copy" }
+func (c *Copier) MsgBytes() int { return c.bytes }
+
+// copyCost prorates one page-copy over n bytes.
+func copyCost(cost *machine.CostTable, n int) simtime.Duration {
+	return simtime.Duration(int64(cost.PageCopy) * int64(n) / machine.PageSize)
+}
+
+// Hop writes, copies in, copies out, reads.
+func (c *Copier) Hop() error {
+	if err := touchWritePages(c.src.AS, c.srcVA, c.bytes); err != nil {
+		return err
+	}
+	// copyin: sender buffer -> kernel buffer; copyout: -> receiver.
+	c.sys.Sink().Charge(2 * copyCost(c.sys.Cost, c.bytes))
+	remaining := c.bytes
+	for i := 0; i < c.pages; i++ {
+		n := remaining
+		if n > machine.PageSize {
+			n = machine.PageSize
+		}
+		sfn, err := c.src.AS.Translate(c.srcVA+vm.VA(i*machine.PageSize), false)
+		if err != nil {
+			return err
+		}
+		c.sys.Mem.Copy(c.kbuf[i], sfn)
+		dfn, err := c.dst.AS.Translate(c.dstVA+vm.VA(i*machine.PageSize), true)
+		if err != nil {
+			return err
+		}
+		c.sys.Mem.Copy(dfn, c.kbuf[i])
+		remaining -= n
+	}
+	return touchReadPages(c.dst.AS, c.dstVA, c.bytes)
+}
+
+// touchWritePages writes one word in each page covering bytes.
+func touchWritePages(as *vm.AddrSpace, va vm.VA, bytes int) error {
+	for o := 0; o < bytes || o == 0; o += machine.PageSize {
+		if err := as.TouchWrite(va+vm.VA(o), uint32(o)); err != nil {
+			return err
+		}
+		if bytes == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// touchReadPages reads one word in each page covering bytes.
+func touchReadPages(as *vm.AddrSpace, va vm.VA, bytes int) error {
+	for o := 0; o < bytes || o == 0; o += machine.PageSize {
+		if _, err := as.TouchRead(va + vm.VA(o)); err != nil {
+			return err
+		}
+		if bytes == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// --- Mach copy-on-write ---
+
+// COW models Mach's transfer facility for out-of-line data: the sender's
+// pages are marked copy-on-write in the high-level map only (cheap), the
+// receiver's mappings are created lazily by page faults, and the sender
+// takes a write fault per page when it next fills its buffer. The two
+// faults per page per transfer are what the paper attributes Mach's high
+// per-page overhead to.
+type COW struct {
+	sys      *vm.System
+	src, dst *domain.Domain
+	bytes    int
+	pages    int
+	srcVA    vm.VA
+	dstVA    vm.VA
+	region   *vm.Region
+	frames   []mem.FrameNum // sender's current frame per page
+}
+
+// NewCOW builds the Mach-COW facility.
+func NewCOW(sys *vm.System, src, dst *domain.Domain, bytes int) (*COW, error) {
+	c := &COW{sys: sys, src: src, dst: dst, bytes: bytes, pages: pagesFor(bytes)}
+	var err error
+	if c.srcVA, err = mapFreshBuffer(src.AS, c.pages); err != nil {
+		return nil, err
+	}
+	c.frames = make([]mem.FrameNum, c.pages)
+	if c.dstVA, err = dst.AS.AllocVA(c.pages); err != nil {
+		return nil, err
+	}
+	// Receiver-side lazy mapping: a fault maps the sender's frame for
+	// that page read-only (sharing it), after the trap cost.
+	c.region = &vm.Region{
+		Start: c.dstVA,
+		Pages: c.pages,
+		Name:  "cow-recv",
+		Handler: func(as *vm.AddrSpace, va vm.VA, write bool) error {
+			if write {
+				return fmt.Errorf("receiver buffer is read-only")
+			}
+			page := int(va-c.dstVA) / machine.PageSize
+			fn := c.frames[page]
+			if fn == mem.NoFrame {
+				return fmt.Errorf("no pending COW page")
+			}
+			as.Map(va.PageBase(), fn, vm.ProtRead)
+			return nil
+		},
+	}
+	if err := dst.AS.AddRegion(c.region); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *COW) Name() string  { return "mach-cow" }
+func (c *COW) MsgBytes() int { return c.bytes }
+
+// Hop performs one COW transfer.
+func (c *COW) Hop() error {
+	// Sender fills its buffer; pages still COW-protected from the last
+	// hop fault here (the second of Mach's two faults).
+	if err := touchWritePages(c.src.AS, c.srcVA, c.bytes); err != nil {
+		return err
+	}
+	// Transfer: mark sender pages COW (lazy, cheap), record frames for
+	// the receiver's lazy faults.
+	for i := 0; i < c.pages; i++ {
+		va := c.srcVA + vm.VA(i*machine.PageSize)
+		pte, ok := c.src.AS.Lookup(va)
+		if !ok {
+			return fmt.Errorf("xfer: sender page %d unmapped", i)
+		}
+		c.frames[i] = pte.Frame
+		c.src.AS.SetCOW(va)
+	}
+	// Receiver consumption: each page faults in lazily (first fault).
+	if err := touchReadPages(c.dst.AS, c.dstVA, c.bytes); err != nil {
+		return err
+	}
+	// Receiver frees: unmap its pages.
+	for i := 0; i < c.pages; i++ {
+		c.dst.AS.Unmap(c.dstVA + vm.VA(i*machine.PageSize))
+		c.frames[i] = mem.NoFrame
+	}
+	return nil
+}
+
+// --- DASH-style page remapping ---
+
+// Remap models the DASH remap facility with move semantics: pages are
+// unmapped from the sender (with immediate TLB/cache consistency) and
+// mapped into the receiver; in a realistic one-directional flow the sender
+// must also allocate fresh pages per message and the receiver deallocate
+// them — the costs the Tzou/Anderson ping-pong measurement omitted.
+// Clearing newly allocated pages is optional, as the paper quotes the
+// 42-99 us/page range depending on what fraction must be cleared.
+type Remap struct {
+	sys      *vm.System
+	src, dst *domain.Domain
+	bytes    int
+	pages    int
+	// Clear controls zero-filling of freshly allocated pages.
+	Clear bool
+
+	// ping-pong state, established on first use.
+	pingSrcVA, pingDstVA vm.VA
+	pingReady            bool
+}
+
+// NewRemap builds the remap facility.
+func NewRemap(sys *vm.System, src, dst *domain.Domain, bytes int) *Remap {
+	return &Remap{sys: sys, src: src, dst: dst, bytes: bytes, pages: pagesFor(bytes)}
+}
+
+func (r *Remap) Name() string  { return "remap" }
+func (r *Remap) MsgBytes() int { return r.bytes }
+
+// Hop allocates, fills, remaps, consumes, and frees one message.
+func (r *Remap) Hop() error {
+	cost := r.sys.Cost
+	srcVA, err := r.src.AS.AllocVA(r.pages)
+	if err != nil {
+		return err
+	}
+	dstVA, err := r.dst.AS.AllocVA(r.pages)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < r.pages; i++ {
+		fn, err := r.sys.Mem.Alloc()
+		if err != nil {
+			return err
+		}
+		r.sys.Sink().Charge(cost.FrameAlloc + cost.RemapBookkeep)
+		if r.Clear {
+			r.sys.Sink().Charge(cost.PageClear)
+			r.sys.Mem.Zero(fn)
+		}
+		r.src.AS.MapOwned(srcVA+vm.VA(i*machine.PageSize), fn, vm.ReadWrite)
+	}
+	if err := touchWritePages(r.src.AS, srcVA, r.bytes); err != nil {
+		return err
+	}
+	// The remap proper: map into receiver, unmap from sender with
+	// immediate consistency, plus two-level-map bookkeeping on each side.
+	for i := 0; i < r.pages; i++ {
+		sva := srcVA + vm.VA(i*machine.PageSize)
+		dva := dstVA + vm.VA(i*machine.PageSize)
+		pte, ok := r.src.AS.Lookup(sva)
+		if !ok {
+			return fmt.Errorf("xfer: remap source page %d unmapped", i)
+		}
+		r.sys.Sink().Charge(2 * cost.RemapBookkeep)
+		r.dst.AS.Map(dva, pte.Frame, vm.ReadWrite)
+		r.src.AS.UnmapSync(sva)
+	}
+	if err := touchReadPages(r.dst.AS, dstVA, r.bytes); err != nil {
+		return err
+	}
+	for i := 0; i < r.pages; i++ {
+		r.sys.Sink().Charge(cost.RemapBookkeep)
+		if freed := r.dst.AS.Unmap(dstVA + vm.VA(i*machine.PageSize)); freed {
+			r.sys.Sink().Charge(cost.FrameFree)
+		}
+	}
+	r.src.AS.FreeVA(srcVA, r.pages)
+	r.dst.AS.FreeVA(dstVA, r.pages)
+	return nil
+}
+
+// PingPong bounces a single already-mapped page between the domains and
+// back, reproducing the Tzou/Anderson measurement shape (no allocation,
+// no clearing, no deallocation). It returns the per-remap cost in
+// simulated time via the sink; callers measure around it.
+func (r *Remap) PingPong() error {
+	cost := r.sys.Cost
+	if !r.pingReady {
+		var err error
+		if r.pingSrcVA, err = r.src.AS.AllocVA(1); err != nil {
+			return err
+		}
+		if r.pingDstVA, err = r.dst.AS.AllocVA(1); err != nil {
+			return err
+		}
+		fn, err := r.sys.Mem.Alloc()
+		if err != nil {
+			return err
+		}
+		r.src.AS.MapOwned(r.pingSrcVA, fn, vm.ReadWrite)
+		r.pingReady = true
+	}
+	srcVA, dstVA := r.pingSrcVA, r.pingDstVA
+	move := func(fromAS *vm.AddrSpace, fromVA vm.VA, toAS *vm.AddrSpace, toVA vm.VA) error {
+		pte, ok := fromAS.Lookup(fromVA)
+		if !ok {
+			return fmt.Errorf("xfer: ping-pong page lost")
+		}
+		r.sys.Sink().Charge(2 * cost.RemapBookkeep)
+		toAS.Map(toVA, pte.Frame, vm.ReadWrite)
+		fromAS.UnmapSync(fromVA)
+		return toAS.TouchWrite(toVA, 1)
+	}
+	if err := move(r.src.AS, srcVA, r.dst.AS, dstVA); err != nil {
+		return err
+	}
+	return move(r.dst.AS, dstVA, r.src.AS, srcVA)
+}
+
+// --- Mach native (hybrid) ---
+
+// MachNativeThreshold is the message size below which Mach copies rather
+// than using COW ("it uses data copying for message sizes of less than
+// 2 KBytes, and COW otherwise").
+const MachNativeThreshold = 2048
+
+// NewMachNative returns Mach's native transfer facility for the size:
+// a Copier under the threshold, COW at or above it.
+func NewMachNative(sys *vm.System, src, dst *domain.Domain, bytes int) (Facility, error) {
+	if bytes < MachNativeThreshold {
+		c, err := NewCopier(sys, src, dst, bytes)
+		if err != nil {
+			return nil, err
+		}
+		return named{c, "mach-native"}, nil
+	}
+	c, err := NewCOW(sys, src, dst, bytes)
+	if err != nil {
+		return nil, err
+	}
+	return named{c, "mach-native"}, nil
+}
+
+type named struct {
+	Facility
+	name string
+}
+
+func (n named) Name() string { return n.name }
+
+// --- Fbuf adapters ---
+
+// FbufFacility runs the fbuf mechanism, at any optimization level, through
+// the same one-hop experiment shape.
+type FbufFacility struct {
+	mgr      *core.Manager
+	src, dst *domain.Domain
+	opts     core.Options
+	bytes    int
+	pages    int
+	path     *core.DataPath // nil for uncached options
+	label    string
+}
+
+// NewFbuf builds an fbuf facility. Cached options get a dedicated data
+// path; uncached options use the default allocator. NoClear is applied to
+// match the paper's Table 1 conditions (clearing reported separately).
+func NewFbuf(mgr *core.Manager, src, dst *domain.Domain, opts core.Options, bytes int) (*FbufFacility, error) {
+	f := &FbufFacility{
+		mgr: mgr, src: src, dst: dst, opts: opts,
+		bytes: bytes, pages: pagesFor(bytes),
+		label: FbufLabel(opts),
+	}
+	mgr.AttachDomain(src)
+	mgr.AttachDomain(dst)
+	if opts.Cached {
+		p, err := mgr.NewPath("xfer-"+f.label, opts, f.pages, src, dst)
+		if err != nil {
+			return nil, err
+		}
+		f.path = p
+	}
+	return f, nil
+}
+
+// FbufLabel names an option set the way the paper's Table 1 does.
+func FbufLabel(opts core.Options) string {
+	switch {
+	case opts.Cached && opts.Volatile:
+		return "fbufs-cached-volatile"
+	case opts.Volatile:
+		return "fbufs-volatile"
+	case opts.Cached:
+		return "fbufs-cached"
+	default:
+		return "fbufs"
+	}
+}
+
+func (f *FbufFacility) Name() string  { return f.label }
+func (f *FbufFacility) MsgBytes() int { return f.bytes }
+
+// Hop performs the alloc/write/transfer/read/free cycle.
+func (f *FbufFacility) Hop() error {
+	var fb *core.Fbuf
+	var err error
+	if f.path != nil {
+		fb, err = f.path.Alloc()
+	} else {
+		fb, err = f.mgr.AllocUncached(f.src, f.pages, f.opts)
+	}
+	if err != nil {
+		return err
+	}
+	if err := touchWriteFbuf(fb, f.src, f.bytes); err != nil {
+		return err
+	}
+	if err := f.mgr.Transfer(fb, f.src, f.dst); err != nil {
+		return err
+	}
+	if err := touchReadFbuf(fb, f.dst, f.bytes); err != nil {
+		return err
+	}
+	if err := f.mgr.Free(fb, f.dst); err != nil {
+		return err
+	}
+	if err := f.mgr.Free(fb, f.src); err != nil {
+		return err
+	}
+	return nil
+}
+
+func touchWriteFbuf(fb *core.Fbuf, d *domain.Domain, bytes int) error {
+	for o := 0; o < bytes || o == 0; o += machine.PageSize {
+		if err := fb.Write(d, o, []byte{1, 2, 3, 4}); err != nil {
+			return err
+		}
+		if bytes == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+func touchReadFbuf(fb *core.Fbuf, d *domain.Domain, bytes int) error {
+	var w [4]byte
+	for o := 0; o < bytes || o == 0; o += machine.PageSize {
+		if err := fb.Read(d, o, w[:]); err != nil {
+			return err
+		}
+		if bytes == 0 {
+			break
+		}
+	}
+	return nil
+}

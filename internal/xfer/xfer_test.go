@@ -1,0 +1,350 @@
+package xfer
+
+import (
+	"testing"
+
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+type rig struct {
+	clk *simtime.Clock
+	sys *vm.System
+	reg *domain.Registry
+	mgr *core.Manager
+	src *domain.Domain
+	dst *domain.Domain
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 8192, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := core.NewManager(sys, reg)
+	r := &rig{clk: clk, sys: sys, reg: reg, mgr: mgr}
+	r.src = reg.New("src")
+	r.dst = reg.New("dst")
+	return r
+}
+
+// perPage measures the steady-state per-page cost of a facility by running
+// warm-up hops then averaging, exactly as the incremental measurements in
+// the paper's Table 1.
+func perPage(t *testing.T, r *rig, f Facility, pages int) float64 {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		if err := f.Hop(); err != nil {
+			t.Fatalf("%s warmup: %v", f.Name(), err)
+		}
+	}
+	start := r.clk.Now()
+	const iters = 4
+	for i := 0; i < iters; i++ {
+		if err := f.Hop(); err != nil {
+			t.Fatalf("%s hop: %v", f.Name(), err)
+		}
+	}
+	return (r.clk.Now() - start).Microseconds() / float64(iters*pages)
+}
+
+func TestTable1Ordering(t *testing.T) {
+	// The full Table 1, measured end to end through the real mechanisms.
+	// 64 pages so the TLB (64 entries) cannot hide touches across hops.
+	const pages = 64
+	const bytes = pages * machine.PageSize
+
+	r := newRig(t)
+	results := map[string]float64{}
+
+	cv, err := NewFbuf(r.mgr, r.src, r.dst, core.CachedVolatile(), bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["cached-volatile"] = perPage(t, r, cv, pages)
+
+	vOpts := core.Uncached()
+	vOpts.NoClear = true
+	vo, err := NewFbuf(r.mgr, r.src, r.dst, vOpts, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["volatile"] = perPage(t, r, vo, pages)
+
+	ca, err := NewFbuf(r.mgr, r.src, r.dst, core.CachedNonVolatile(), bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["cached"] = perPage(t, r, ca, pages)
+
+	plainOpts := core.UncachedNonVolatile()
+	plainOpts.NoClear = true
+	pl, err := NewFbuf(r.mgr, r.src, r.dst, plainOpts, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["plain"] = perPage(t, r, pl, pages)
+
+	cow, err := NewCOW(r.sys, r.src, r.dst, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["cow"] = perPage(t, r, cow, pages)
+
+	cp, err := NewCopier(r.sys, r.src, r.dst, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results["copy"] = perPage(t, r, cp, pages)
+
+	rm := NewRemap(r.sys, r.src, r.dst, bytes)
+	results["remap"] = perPage(t, r, rm, pages)
+
+	// Paper-anchored absolute values (Table 1; remap from section 2.2.1).
+	anchors := map[string][2]float64{
+		"cached-volatile": {2.5, 3.5}, // 3 us
+		"volatile":        {19, 23},   // 21 us
+		"cached":          {27, 31},   // 29 us
+		"plain":           {31, 37},   // 34 us (see DESIGN.md)
+		"remap":           {36, 46},   // 42 us reported, no clearing
+		"cow":             {55, 80},   // "relatively high" - two faults/page
+		"copy":            {135, 150}, // 2 copies + touches
+	}
+	for name, bounds := range anchors {
+		got := results[name]
+		if got < bounds[0] || got > bounds[1] {
+			t.Errorf("%s: %.1f us/page, want within [%v, %v]", name, got, bounds[0], bounds[1])
+		}
+	}
+	// The order-of-magnitude claim: cached/volatile is >= 6x better than
+	// every non-fbuf mechanism and the uncached fbuf variants.
+	for _, name := range []string{"volatile", "cached", "plain", "remap", "cow", "copy"} {
+		if results[name] < 6*results["cached-volatile"] {
+			t.Errorf("cached-volatile not an order of magnitude better than %s (%.1f vs %.1f)",
+				name, results["cached-volatile"], results[name])
+		}
+	}
+}
+
+func TestRemapPingPongAnchor(t *testing.T) {
+	r := newRig(t)
+	rm := NewRemap(r.sys, r.src, r.dst, machine.PageSize)
+	// Warm up VA allocations.
+	if err := rm.PingPong(); err != nil {
+		t.Fatal(err)
+	}
+	start := r.clk.Now()
+	const iters = 8
+	for i := 0; i < iters; i++ {
+		if err := rm.PingPong(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perRemap := (r.clk.Now() - start).Microseconds() / float64(iters*2)
+	// Paper: ~22 us/page on the DecStation for the ping-pong test
+	// (down from 208 us on the Sun 3/50 DASH measurement).
+	if perRemap < 19 || perRemap > 26 {
+		t.Errorf("ping-pong remap %.1f us/page, want ~22", perRemap)
+	}
+	// VA allocations accumulate per call in PingPong; tolerated in test.
+}
+
+func TestRemapClearingDominates(t *testing.T) {
+	r := newRig(t)
+	const pages = 16
+	rm := NewRemap(r.sys, r.src, r.dst, pages*machine.PageSize)
+	noclear := perPage(t, r, rm, pages)
+	rm.Clear = true
+	withclear := perPage(t, r, rm, pages)
+	d := withclear - noclear
+	if d < 56 || d > 58 {
+		t.Errorf("clearing adds %.1f us/page, want 57", d)
+	}
+	// The paper's quoted ceiling: ~99 us/page with full clearing.
+	if withclear < 90 || withclear > 105 {
+		t.Errorf("remap with clear %.1f us/page, want ~96-99", withclear)
+	}
+}
+
+func TestCopyDeliversData(t *testing.T) {
+	r := newRig(t)
+	c, err := NewCopier(r.sys, r.src, r.dst, 3*machine.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Hop(); err != nil {
+		t.Fatal(err)
+	}
+	// The touch pattern wrote word o at page offset o; verify page 1's
+	// word arrived in the receiver's buffer.
+	w, err := r.dst.AS.TouchRead(c.dstVA + vm.VA(machine.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != uint32(machine.PageSize) {
+		t.Fatalf("receiver word %#x", w)
+	}
+}
+
+func TestCOWIsolation(t *testing.T) {
+	// After a COW transfer, sender writes must not disturb data the
+	// receiver is still holding.
+	r := newRig(t)
+	c, err := NewCOW(r.sys, r.src, r.dst, machine.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.src.AS.Write(c.srcVA, []byte("generation-1")); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer (manually, to keep the receiver's reference alive).
+	pte, _ := r.src.AS.Lookup(c.srcVA)
+	c.frames[0] = pte.Frame
+	r.src.AS.SetCOW(c.srcVA)
+	buf := make([]byte, 12)
+	if err := r.dst.AS.Read(c.dstVA, buf); err != nil { // faults in lazily
+		t.Fatal(err)
+	}
+	if string(buf) != "generation-1" {
+		t.Fatalf("receiver read %q", buf)
+	}
+	// Sender writes again: COW fault copies because the frame is shared.
+	if err := r.src.AS.Write(c.srcVA, []byte("generation-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.dst.AS.Read(c.dstVA, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "generation-1" {
+		t.Fatalf("COW leaked: receiver sees %q", buf)
+	}
+}
+
+func TestMachNativePolicySwitch(t *testing.T) {
+	r := newRig(t)
+	small, err := NewMachNative(r.sys, r.src, r.dst, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Name() != "mach-native" {
+		t.Fatalf("name %q", small.Name())
+	}
+	if _, ok := small.(named).Facility.(*Copier); !ok {
+		t.Fatalf("1KB should copy, got %T", small.(named).Facility)
+	}
+	big, err := NewMachNative(r.sys, r.src, r.dst, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := big.(named).Facility.(*COW); !ok {
+		t.Fatalf("4KB should COW, got %T", big.(named).Facility)
+	}
+}
+
+func TestMachNativeCrossover(t *testing.T) {
+	// Under 2KB, Mach native (copy) beats uncached fbufs per hop — the
+	// Figure 3 observation that motivates "no special-casing is
+	// necessary" only for cached/volatile fbufs.
+	r := newRig(t)
+	const small = 1024
+	mach, err := NewMachNative(r.sys, r.src, r.dst, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.UncachedNonVolatile()
+	opts.NoClear = true
+	fb, err := NewFbuf(r.mgr, r.src, r.dst, opts, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(f Facility) simtime.Duration {
+		for i := 0; i < 2; i++ {
+			if err := f.Hop(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := r.clk.Now()
+		for i := 0; i < 4; i++ {
+			if err := f.Hop(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return (r.clk.Now() - start) / 4
+	}
+	machCost := measure(mach)
+	fbCost := measure(fb)
+	if machCost >= fbCost {
+		t.Errorf("1KB: mach-native %v should beat plain fbufs %v", machCost, fbCost)
+	}
+	// And cached/volatile fbufs beat Mach even at small sizes.
+	cv, err := NewFbuf(r.mgr, r.src, r.dst, core.CachedVolatile(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvCost := measure(cv)
+	if cvCost >= machCost {
+		t.Errorf("1KB: cached/volatile %v should beat mach-native %v", cvCost, machCost)
+	}
+}
+
+func TestFbufFacilityNames(t *testing.T) {
+	want := map[string]core.Options{
+		"fbufs-cached-volatile": core.CachedVolatile(),
+		"fbufs-volatile":        core.Uncached(),
+		"fbufs-cached":          core.CachedNonVolatile(),
+		"fbufs":                 core.UncachedNonVolatile(),
+	}
+	for name, opts := range want {
+		if got := FbufLabel(opts); got != name {
+			t.Errorf("label for %+v = %q, want %q", opts, got, name)
+		}
+	}
+}
+
+func TestZeroByteHop(t *testing.T) {
+	r := newRig(t)
+	for _, mk := range []func() (Facility, error){
+		func() (Facility, error) { return NewCopier(r.sys, r.src, r.dst, 0) },
+		func() (Facility, error) { return NewFbuf(r.mgr, r.src, r.dst, core.CachedVolatile(), 0) },
+	} {
+		f, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Hop(); err != nil {
+			t.Fatalf("%s zero-byte hop: %v", f.Name(), err)
+		}
+	}
+}
+
+func TestFacilityMetadata(t *testing.T) {
+	r := newRig(t)
+	cp, _ := NewCopier(r.sys, r.src, r.dst, 1000)
+	cow, _ := NewCOW(r.sys, r.src, r.dst, 5000)
+	rm := NewRemap(r.sys, r.src, r.dst, 3000)
+	fb, _ := NewFbuf(r.mgr, r.src, r.dst, core.CachedVolatile(), 2000)
+	for _, tc := range []struct {
+		f     Facility
+		name  string
+		bytes int
+	}{
+		{cp, "copy", 1000},
+		{cow, "mach-cow", 5000},
+		{rm, "remap", 3000},
+		{fb, "fbufs-cached-volatile", 2000},
+	} {
+		if tc.f.Name() != tc.name {
+			t.Errorf("name %q, want %q", tc.f.Name(), tc.name)
+		}
+		if tc.f.MsgBytes() != tc.bytes {
+			t.Errorf("%s bytes %d", tc.name, tc.f.MsgBytes())
+		}
+	}
+	mn, _ := NewMachNative(r.sys, r.src, r.dst, 100)
+	if mn.MsgBytes() != 100 {
+		t.Errorf("mach-native bytes %d", mn.MsgBytes())
+	}
+}

@@ -1,0 +1,151 @@
+package xkernel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fbufs/internal/aggregate"
+	"fbufs/internal/domain"
+	"fbufs/internal/simtime"
+)
+
+// Probe wraps a Layer and records the simulated time spent beneath each
+// invocation — the instrumentation cmd/fbufsim uses to print per-layer
+// cost breakdowns. Because a layer's Push typically calls the next layer
+// down synchronously, a probe's time is *inclusive* of everything below
+// it; Report subtracts nested probe time to show exclusive costs.
+//
+// Probes are transparent to Connect: wiring a probe wires the wrapped
+// layer, so graphs can be built from probes exactly as from bare layers.
+type Probe struct {
+	inner Layer
+	now   func() simtime.Time
+
+	// Inclusive accounting.
+	PushTime, DeliverTime simtime.Duration
+	Pushes, Delivers      uint64
+
+	registry *ProbeSet
+}
+
+// ProbeSet instruments a whole graph and renders breakdowns.
+type ProbeSet struct {
+	now    func() simtime.Time
+	probes []*Probe
+	// stack tracks the probe call frames (probe + direction) so nested
+	// time can be attributed exclusively (single-threaded simulation).
+	stack []probeFrame
+}
+
+type probeFrame struct {
+	p    *Probe
+	push bool
+}
+
+// NewProbeSet creates an instrumentation context over a simulated clock.
+func NewProbeSet(now func() simtime.Time) *ProbeSet {
+	return &ProbeSet{now: now}
+}
+
+// Wrap instruments a layer. Use the returned Probe wherever the layer
+// would be used (Connect, Bind, SetAbove/SetBelow).
+func (ps *ProbeSet) Wrap(l Layer) *Probe {
+	p := &Probe{inner: l, now: ps.now, registry: ps}
+	ps.probes = append(ps.probes, p)
+	return p
+}
+
+// Name returns the wrapped layer's name.
+func (p *Probe) Name() string { return p.inner.Name() }
+
+// Dom returns the wrapped layer's domain.
+func (p *Probe) Dom() *domain.Domain { return p.inner.Dom() }
+
+// SetAbove wires the wrapped layer.
+func (p *Probe) SetAbove(l Layer) { p.inner.SetAbove(l) }
+
+// SetBelow wires the wrapped layer.
+func (p *Probe) SetBelow(l Layer) { p.inner.SetBelow(l) }
+
+// enter/exit add elapsed time to this probe and *remove* it from the
+// enclosing probe's accumulator (for the direction of the *parent's* own
+// call), so every probe ends up with exclusive time.
+func (p *Probe) enter(push bool) {
+	p.registry.stack = append(p.registry.stack, probeFrame{p: p, push: push})
+}
+
+func (p *Probe) exit(elapsed simtime.Duration, push bool) {
+	st := p.registry.stack
+	p.registry.stack = st[:len(st)-1]
+	if push {
+		p.PushTime += elapsed
+	} else {
+		p.DeliverTime += elapsed
+	}
+	// Subtract from the parent so its figure becomes exclusive. The
+	// parent's accumulator is chosen by the direction of the parent's own
+	// in-progress call (a loopback Push invokes IP's Deliver; the
+	// subtraction must land in the loopback's Push figure).
+	if len(p.registry.stack) > 0 {
+		parent := p.registry.stack[len(p.registry.stack)-1]
+		if parent.push {
+			parent.p.PushTime -= elapsed
+		} else {
+			parent.p.DeliverTime -= elapsed
+		}
+	}
+}
+
+// Push forwards downward, timing the wrapped layer.
+func (p *Probe) Push(m *aggregate.Msg) error {
+	p.Pushes++
+	p.enter(true)
+	t0 := p.now()
+	err := p.inner.Push(m)
+	p.exit(p.now()-t0, true)
+	return err
+}
+
+// Deliver forwards upward, timing the wrapped layer.
+func (p *Probe) Deliver(m *aggregate.Msg) error {
+	p.Delivers++
+	p.enter(false)
+	t0 := p.now()
+	err := p.inner.Deliver(m)
+	p.exit(p.now()-t0, false)
+	return err
+}
+
+// Reset clears accumulated figures (e.g. after warm-up traffic).
+func (ps *ProbeSet) Reset() {
+	for _, p := range ps.probes {
+		p.PushTime, p.DeliverTime = 0, 0
+		p.Pushes, p.Delivers = 0, 0
+	}
+}
+
+// Report writes the per-layer exclusive cost table, most expensive first.
+func (ps *ProbeSet) Report(w io.Writer) error {
+	type row struct {
+		name  string
+		total simtime.Duration
+		p     *Probe
+	}
+	rows := make([]row, 0, len(ps.probes))
+	for _, p := range ps.probes {
+		rows = append(rows, row{p.Name() + "@" + p.Dom().Name, p.PushTime + p.DeliverTime, p})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	if _, err := fmt.Fprintf(w, "  %-24s %12s %12s %8s %8s\n",
+		"layer", "push", "deliver", "pushes", "delivers"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-24s %12v %12v %8d %8d\n",
+			r.name, r.p.PushTime, r.p.DeliverTime, r.p.Pushes, r.p.Delivers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
