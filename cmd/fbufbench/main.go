@@ -4,10 +4,16 @@
 // Usage:
 //
 //	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|ablations|all]
+//	          [-json] [-json-out BENCH_report.json]
+//	          [-trace out.json] [-metrics out.json]
 //
 // Output is plain text: one aligned table per paper table, one
 // column-per-series table per paper figure. EXPERIMENTS.md records the
-// paper-vs-measured comparison for every entry.
+// paper-vs-measured comparison for every entry. -json additionally writes
+// the machine-readable BENCH_report.json (headline simulated metrics per
+// experiment, for tracking the perf trajectory across PRs); -trace and
+// -metrics export the observability layer's Chrome trace-event JSON and
+// metrics snapshot for the benchmark run.
 package main
 
 import (
@@ -17,16 +23,91 @@ import (
 	"os"
 
 	"fbufs/internal/bench"
+	"fbufs/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, ablations, all")
+	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark report")
+	jsonPath := flag.String("json-out", "BENCH_report.json", "path for the -json report")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	flag.Parse()
 
+	var o *obs.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		o = obs.New(1 << 18)
+		bench.SetObserver(o)
+	}
 	if err := run(os.Stdout, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "fbufbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		if err := writeReport(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+	}
+	if o != nil {
+		if err := exportObserved(o, *tracePath, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeReport builds the machine-readable report and writes it.
+func writeReport(path string) error {
+	rep, err := bench.BuildReport()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", path, rep.Summary())
+	return nil
+}
+
+// exportObserved writes the observer's trace and metrics files.
+func exportObserved(o *obs.Observer, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		bench.PublishObserved()
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type writerTo interface {

@@ -5,19 +5,25 @@
 // Usage:
 //
 //	fbufsim [-mode cached-volatile|volatile|cached|plain] [-pages N] [-hops N] [-domains N]
+//	        [-trace out.json] [-metrics out.json] [-events=false]
 //
 // Example output (cached-volatile, second hop): every line shows the
-// simulated time consumed by that step; the steady-state hop costs only
-// the TLB misses of actually touching the data.
+// simulated time consumed by that step, with the tracer's structured
+// events indented beneath it; the steady-state hop costs only the TLB
+// misses of actually touching the data. -trace writes the full event
+// stream as Chrome trace-event JSON (open at ui.perfetto.dev), -metrics a
+// JSON snapshot of every counter, gauge, and latency histogram.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fbufs"
 	"fbufs/internal/core"
+	"fbufs/internal/obs"
 	"fbufs/internal/protocols"
 	"fbufs/internal/xkernel"
 )
@@ -36,57 +42,82 @@ func optsFor(mode string) (fbufs.Options, bool) {
 	return fbufs.Options{}, false
 }
 
+// config is the full run configuration (flag values, testable directly).
+type config struct {
+	mode     string
+	pages    int
+	hops     int
+	ndomains int
+	stack    bool
+	msgBytes int
+
+	tracePath   string // Chrome trace-event JSON output, "" = off
+	metricsPath string // metrics snapshot JSON output, "" = off
+	events      bool   // print tracer events under each step
+}
+
 func main() {
-	mode := flag.String("mode", "cached-volatile", "fbuf variant: cached-volatile, volatile, cached, plain")
-	pages := flag.Int("pages", 4, "fbuf size in pages")
-	hops := flag.Int("hops", 3, "number of messages to trace")
-	ndomains := flag.Int("domains", 2, "receiver chain length (>=2 including originator)")
-	stack := flag.Bool("stack", false, "trace a 3-domain UDP/IP loopback stack instead (per-layer breakdown)")
-	msgBytes := flag.Int("bytes", 65536, "message size for -stack mode")
+	var cfg config
+	flag.StringVar(&cfg.mode, "mode", "cached-volatile", "fbuf variant: cached-volatile, volatile, cached, plain")
+	flag.IntVar(&cfg.pages, "pages", 4, "fbuf size in pages")
+	flag.IntVar(&cfg.hops, "hops", 3, "number of messages to trace")
+	flag.IntVar(&cfg.ndomains, "domains", 2, "receiver chain length (>=2 including originator)")
+	flag.BoolVar(&cfg.stack, "stack", false, "trace a 3-domain UDP/IP loopback stack instead (per-layer breakdown)")
+	flag.IntVar(&cfg.msgBytes, "bytes", 65536, "message size for -stack mode")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	flag.StringVar(&cfg.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file")
+	flag.BoolVar(&cfg.events, "events", true, "print structured tracer events beneath each step")
 	flag.Parse()
 
-	opts, ok := optsFor(*mode)
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "fbufsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg config) error {
+	opts, ok := optsFor(cfg.mode)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fbufsim: unknown mode %q\n", *mode)
-		os.Exit(1)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
-	if *stack {
-		if err := traceStack(opts, *mode, *msgBytes); err != nil {
-			fmt.Fprintln(os.Stderr, "fbufsim:", err)
-			os.Exit(1)
-		}
-		return
+	if cfg.stack {
+		return traceStack(w, opts, cfg)
 	}
-	if *ndomains < 2 {
-		fmt.Fprintln(os.Stderr, "fbufsim: need at least 2 domains")
-		os.Exit(1)
+	if cfg.ndomains < 2 {
+		return fmt.Errorf("need at least 2 domains")
 	}
 
 	sys := fbufs.New(4096)
+	o := sys.Observe(1 << 16)
 	doms := []*fbufs.Domain{sys.NewDomain("origin")}
-	for i := 1; i < *ndomains; i++ {
+	for i := 1; i < cfg.ndomains; i++ {
 		doms = append(doms, sys.NewDomain(fmt.Sprintf("recv%d", i)))
 	}
-	path, err := sys.NewPath("trace", opts, *pages, doms...)
+	path, err := sys.NewPath("trace", opts, cfg.pages, doms...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fbufsim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	step := func(what string, fn func() error) {
 		before := sys.Now()
+		mark := o.Tracer.Total()
 		if err := fn(); err != nil {
-			fmt.Printf("    %-42s -> ERROR: %v\n", what, err)
+			fmt.Fprintf(w, "    %-42s -> ERROR: %v\n", what, err)
 			return
 		}
-		fmt.Printf("    %-42s %10v\n", what, sys.Now()-before)
+		fmt.Fprintf(w, "    %-42s %10v\n", what, sys.Now()-before)
+		if cfg.events {
+			for _, e := range o.Tracer.Since(mark) {
+				fmt.Fprintf(w, "        · %s\n", o.Tracer.Format(e))
+			}
+		}
 	}
 
-	fmt.Printf("fbufsim: %s fbufs, %d pages, %s -> %d receiver(s)\n\n",
-		*mode, *pages, doms[0].Name, *ndomains-1)
+	fmt.Fprintf(w, "fbufsim: %s fbufs, %d pages, %s -> %d receiver(s)\n\n",
+		cfg.mode, cfg.pages, doms[0].Name, cfg.ndomains-1)
 	word := []byte{0xfb, 0x0f, 0x00, 0x0d}
-	for hop := 1; hop <= *hops; hop++ {
-		fmt.Printf("message %d:\n", hop)
+	for hop := 1; hop <= cfg.hops; hop++ {
+		fmt.Fprintf(w, "message %d:\n", hop)
 		var f *fbufs.Fbuf
 		step("allocate from path allocator", func() error {
 			var err error
@@ -94,7 +125,7 @@ func main() {
 			return err
 		})
 		step("originator writes one word per page", func() error {
-			for p := 0; p < *pages; p++ {
+			for p := 0; p < cfg.pages; p++ {
 				if err := f.Write(doms[0], p*fbufs.PageSize, word); err != nil {
 					return err
 				}
@@ -109,7 +140,7 @@ func main() {
 		last := doms[len(doms)-1]
 		step(last.Name+" reads one word per page", func() error {
 			buf := make([]byte, 4)
-			for p := 0; p < *pages; p++ {
+			for p := 0; p < cfg.pages; p++ {
 				if err := f.Read(last, p*fbufs.PageSize, buf); err != nil {
 					return err
 				}
@@ -121,21 +152,55 @@ func main() {
 				return sys.Fbufs.Free(f, doms[i])
 			})
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	st := sys.Fbufs.Stats
-	fmt.Printf("totals: %v simulated; %d allocs (%d cache hits), %d transfers, "+
+	st := sys.Fbufs.Snapshot()
+	fmt.Fprintf(w, "totals: %v simulated; %d allocs (%d cache hits), %d transfers, "+
 		"%d mapping ops, %d secures, %d recycles\n",
 		sys.Now(), st.Allocs, st.CacheHits, st.Transfers, st.MappingsBuilt,
 		st.Secures, st.Recycles)
+	return export(sys, o, cfg)
+}
+
+// export writes the trace and metrics files requested by the flags.
+func export(sys *fbufs.System, o *obs.Observer, cfg config) error {
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if cfg.metricsPath != "" {
+		sys.PublishMetrics(o)
+		f, err := os.Create(cfg.metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // traceStack runs the paper's 3-domain UDP/IP loopback configuration with
 // every layer instrumented, and prints the per-layer cost breakdown for a
 // steady-state message (warm-up traffic excluded).
-func traceStack(opts fbufs.Options, mode string, msgBytes int) error {
+func traceStack(w io.Writer, opts fbufs.Options, cfg config) error {
 	sys := fbufs.New(1 << 14)
+	o := sys.Observe(1 << 16)
 	src := sys.NewDomain("app")
 	net := sys.NewDomain("netserver")
 	sink := sys.NewDomain("receiver")
@@ -150,22 +215,22 @@ func traceStack(opts fbufs.Options, mode string, msgBytes int) error {
 		return err
 	}
 	// Warm up allocator caches and mappings, then measure one message.
-	if err := s.Send(msgBytes); err != nil {
+	if err := s.Send(cfg.msgBytes); err != nil {
 		return err
 	}
 	probes.Reset()
 	start := sys.Now()
-	if err := s.Send(msgBytes); err != nil {
+	if err := s.Send(cfg.msgBytes); err != nil {
 		return err
 	}
 	total := sys.Now() - start
 
-	fmt.Printf("fbufsim -stack: %s fbufs, %d-byte message, app | netserver (UDP/IP) | receiver\n", mode, msgBytes)
-	fmt.Printf("exclusive simulated time per layer (steady state; proxies/IPC are\naccounted to the layer that invoked them):\n\n")
-	if err := probes.Report(os.Stdout); err != nil {
+	fmt.Fprintf(w, "fbufsim -stack: %s fbufs, %d-byte message, app | netserver (UDP/IP) | receiver\n", cfg.mode, cfg.msgBytes)
+	fmt.Fprintf(w, "exclusive simulated time per layer (steady state; proxies/IPC are\naccounted to the layer that invoked them):\n\n")
+	if err := probes.Report(w); err != nil {
 		return err
 	}
-	fmt.Printf("\ntotal: %v for %d bytes = %.0f Mb/s\n",
-		total, msgBytes, fbufs.Mbps(int64(msgBytes), total))
-	return nil
+	fmt.Fprintf(w, "\ntotal: %v for %d bytes = %.0f Mb/s\n",
+		total, cfg.msgBytes, fbufs.Mbps(int64(cfg.msgBytes), total))
+	return export(sys, o, cfg)
 }

@@ -58,7 +58,7 @@ func main() {
 			round, len(payload), sys.Now()-start)
 	}
 
-	st := sys.Fbufs.Stats
+	st := sys.Fbufs.Snapshot()
 	fmt.Printf("\nallocator: %d allocs, %d cache hits, %d mapping ops during transfer\n",
 		st.Allocs, st.CacheHits, st.MappingsBuilt)
 	fmt.Printf("free list depth: %d (the fbuf recycled, mappings intact)\n", path.FreeListLen())

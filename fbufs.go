@@ -32,6 +32,7 @@ import (
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
+	"fbufs/internal/obs"
 	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 	"fbufs/internal/xkernel"
@@ -56,6 +57,10 @@ type (
 	Time = simtime.Time
 	// Duration is a span of simulated time.
 	Duration = simtime.Duration
+	// Observer is the unified tracing + metrics handle (package obs).
+	Observer = obs.Observer
+	// Stats is the fbuf facility's counter snapshot.
+	Stats = core.Stats
 )
 
 // Option-set constructors, named as in the paper's Table 1.
@@ -97,6 +102,27 @@ func New(frames int) *System {
 
 // Now returns the current simulated time.
 func (s *System) Now() Time { return s.Clock.Now() }
+
+// Observe attaches a fresh observer (event ring of eventCap entries plus a
+// metrics registry) to the host and returns it. Existing domains and paths
+// are labelled in the trace; layers emit through it from then on.
+func (s *System) Observe(eventCap int) *Observer {
+	o := obs.New(eventCap)
+	o.SetNow(s.Clock.Now)
+	s.VM.Obs = o
+	s.Fbufs.RegisterTraceNames("")
+	return o
+}
+
+// PublishMetrics writes the host's counters (fbuf facility, VM, TLB) into
+// the observer's registry, ready for a JSON snapshot export.
+func (s *System) PublishMetrics(o *Observer) {
+	if o == nil {
+		return
+	}
+	s.Fbufs.PublishMetrics(o.Metrics)
+	s.VM.PublishMetrics(o.Metrics)
+}
 
 // Kernel returns the trusted kernel domain.
 func (s *System) Kernel() *Domain { return s.Domains.Kernel() }

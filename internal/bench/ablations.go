@@ -189,7 +189,7 @@ func AblationFreeListDiscipline() (*Table, error) {
 			name = "FIFO"
 		}
 		t.Rows = append(t.Rows, []string{name,
-			fmt.Sprintf("%d", r.mgr.Stats.LazyRefills), fmt.Sprintf("%.0f", per)})
+			fmt.Sprintf("%d", r.mgr.Snapshot().LazyRefills), fmt.Sprintf("%.0f", per)})
 	}
 	return t, nil
 }

@@ -7,12 +7,38 @@ import (
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
 	"fbufs/internal/netsim"
+	"fbufs/internal/obs"
 	"fbufs/internal/protocols"
 	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 	"fbufs/internal/xfer"
 	"fbufs/internal/xkernel"
 )
+
+// observer, when set, is attached to every rig and netsim run the
+// experiments build, so cmd/fbufbench can export traces and metrics for a
+// whole benchmark run. Histograms accumulate across all rigs; counter
+// publication (PublishObserved) reflects the most recently built rig.
+var observer *obs.Observer
+
+// lastRig is the most recent single-host rig built while observing.
+var lastRig *rig
+
+// SetObserver installs (or, with nil, removes) the benchmark observer.
+func SetObserver(o *obs.Observer) {
+	observer = o
+	lastRig = nil
+}
+
+// PublishObserved publishes the most recent rig's counters into the
+// observer's metrics registry (called before exporting a snapshot).
+func PublishObserved() {
+	if observer == nil || lastRig == nil {
+		return
+	}
+	lastRig.mgr.PublishMetrics(observer.Metrics)
+	lastRig.sys.PublishMetrics(observer.Metrics)
+}
 
 // rig is one fresh simulated host for the single-host experiments.
 type rig struct {
@@ -39,6 +65,12 @@ func newRigCost(cost *machine.CostTable) *rig {
 	mgr := core.NewManagerGeometry(sys, reg, 256, 128)
 	env := xkernel.NewEnv(sys, mgr, reg)
 	r := &rig{clk: clk, sys: sys, reg: reg, mgr: mgr, env: env}
+	if observer != nil {
+		sys.Obs = observer
+		observer.SetNow(clk.Now)
+		mgr.RegisterTraceNames("")
+		lastRig = r
+	}
 	r.src = reg.New("src")
 	r.dst = reg.New("dst")
 	return r
@@ -327,6 +359,7 @@ func figure56(title string, opts core.Options, note string) (*Figure, error) {
 				PDUBytes:  16*1024 + protocols.UDPHeaderBytes,
 				MsgBytes:  size,
 				Count:     6,
+				Obs:       observer,
 			})
 			if err != nil {
 				return nil, err
@@ -387,6 +420,7 @@ func CPULoad() (*Table, error) {
 			MsgBytes:  1 << 20,
 			Count:     6,
 			Window:    4,
+			Obs:       observer,
 		})
 		if err != nil {
 			return nil, err

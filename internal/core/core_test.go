@@ -327,7 +327,7 @@ func TestTable1CachedVolatileSteadyState(t *testing.T) {
 	if want := simtime.US(3); perPage != want {
 		t.Fatalf("cached/volatile steady state: %v per page, want %v", perPage, want)
 	}
-	if r.mgr.Stats.CacheHits == 0 {
+	if r.mgr.Snapshot().CacheHits == 0 {
 		t.Fatal("no cache hits recorded")
 	}
 	r.check(t)
@@ -485,8 +485,8 @@ func TestNoticeFlow(t *testing.T) {
 	if f.State() != StateFree || p.FreeListLen() != 1 {
 		t.Fatalf("after delivery: state %v, free list %d", f.State(), p.FreeListLen())
 	}
-	if r.mgr.Stats.NoticesPiggy != 1 {
-		t.Fatalf("piggy notices %d", r.mgr.Stats.NoticesPiggy)
+	if r.mgr.Snapshot().NoticesPiggy != 1 {
+		t.Fatalf("piggy notices %d", r.mgr.Snapshot().NoticesPiggy)
 	}
 	r.check(t)
 }
@@ -504,8 +504,8 @@ func TestNoticeOverflowForcesExplicitMessage(t *testing.T) {
 		r.mgr.Free(f, r.src)
 		r.mgr.Free(f, r.dst)
 	}
-	if r.mgr.Stats.NoticesExplicit != 4 {
-		t.Fatalf("explicit notices %d, want 4", r.mgr.Stats.NoticesExplicit)
+	if r.mgr.Snapshot().NoticesExplicit != 4 {
+		t.Fatalf("explicit notices %d, want 4", r.mgr.Snapshot().NoticesExplicit)
 	}
 	if p.FreeListLen() != 4 {
 		t.Fatalf("free list %d", p.FreeListLen())
@@ -577,7 +577,7 @@ func TestReclaimAndLazyRefill(t *testing.T) {
 	if err := f2.Write(r.src, 0, []byte("fresh")); err != nil {
 		t.Fatalf("write after reclaim: %v", err)
 	}
-	if r.mgr.Stats.LazyRefills == 0 {
+	if r.mgr.Snapshot().LazyRefills == 0 {
 		t.Fatal("no lazy refill recorded")
 	}
 	// Receiver must also be able to fault its mapping back in.
@@ -719,10 +719,10 @@ func TestCachedMappingsPersistAcrossFree(t *testing.T) {
 			r.src.AS.MappedPages(), r.dst.AS.MappedPages())
 	}
 	// Second transfer builds no mappings.
-	before := r.mgr.Stats.MappingsBuilt
+	before := r.mgr.Snapshot().MappingsBuilt
 	f2, _ := p.Alloc()
 	r.mgr.Transfer(f2, r.src, r.dst)
-	if r.mgr.Stats.MappingsBuilt != before {
+	if r.mgr.Snapshot().MappingsBuilt != before {
 		t.Fatal("cached re-transfer built mappings")
 	}
 }
@@ -756,7 +756,7 @@ func TestStatsProgression(t *testing.T) {
 	p := r.path(t, CachedVolatile(), 1)
 	r.oneHop(t, p)
 	r.oneHop(t, p)
-	s := r.mgr.Stats
+	s := r.mgr.Snapshot()
 	if s.Allocs != 2 || s.CacheHits != 1 || s.CacheMisses != 1 {
 		t.Fatalf("alloc stats %+v", s)
 	}
@@ -876,4 +876,72 @@ func TestDupRefAndFbufAt(t *testing.T) {
 	if err := r.mgr.DupRef(f, r.src); err == nil {
 		t.Fatal("dupref on free fbuf accepted")
 	}
+}
+
+// --- Quota semantics: 0 = manager default, positive = explicit, negative
+// = unlimited ---
+
+func TestQuotaManagerDefault(t *testing.T) {
+	r := newRig(t)
+	p := r.path(t, CachedVolatile(), DefaultChunkPages) // 1 fbuf per chunk
+	if got := p.Quota(); got != DefaultPathQuota {
+		t.Fatalf("fresh path Quota() = %d, want manager default %d", got, DefaultPathQuota)
+	}
+	// Lowering the manager default retroactively governs every path that
+	// never called SetQuota.
+	r.mgr.DefaultQuota = 2
+	var bufs []*Fbuf
+	for i := 0; i < 2; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d under default quota: %v", i, err)
+		}
+		bufs = append(bufs, f)
+	}
+	if _, err := p.Alloc(); err != ErrQuota {
+		t.Fatalf("third chunk: want ErrQuota, got %v", err)
+	}
+	_ = bufs
+	r.check(t)
+}
+
+func TestQuotaExplicitAndReset(t *testing.T) {
+	r := newRig(t)
+	p := r.path(t, CachedVolatile(), DefaultChunkPages)
+	p.SetQuota(1)
+	if got := p.Quota(); got != 1 {
+		t.Fatalf("explicit Quota() = %d, want 1", got)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != ErrQuota {
+		t.Fatalf("want ErrQuota at explicit limit, got %v", err)
+	}
+	// SetQuota(0) hands control back to the manager default (8): the
+	// previously refused allocation now succeeds.
+	p.SetQuota(0)
+	if got := p.Quota(); got != DefaultPathQuota {
+		t.Fatalf("reset Quota() = %d, want %d", got, DefaultPathQuota)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after quota reset: %v", err)
+	}
+	r.check(t)
+}
+
+func TestQuotaUnlimited(t *testing.T) {
+	r := newRig(t)
+	r.mgr.DefaultQuota = 1
+	p := r.path(t, CachedVolatile(), DefaultChunkPages)
+	p.SetQuota(-1)
+	if got := p.Quota(); got != 0 {
+		t.Fatalf("unlimited Quota() = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Alloc(); err != nil {
+			t.Fatalf("unlimited alloc %d: %v", i, err)
+		}
+	}
+	r.check(t)
 }

@@ -101,6 +101,9 @@ func (f *Fbuf) DMARead(off int, buf []byte) error {
 // CheckInvariants validates facility-wide consistency; tests call it after
 // operation sequences (including randomized ones).
 func (m *Manager) CheckInvariants() error {
+	if err := m.stats.Check(); err != nil {
+		return err
+	}
 	seenChunk := make(map[int]bool)
 	for _, idx := range m.freeChunks {
 		if seenChunk[idx] {

@@ -6,6 +6,7 @@ import (
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
+	"fbufs/internal/obs"
 	"fbufs/internal/vm"
 )
 
@@ -45,7 +46,15 @@ type Manager struct {
 	// (package aggregate installs its empty-node encoding).
 	EmptyLeafInit func([]byte)
 
-	Stats Stats
+	// DefaultQuota is the chunk quota applied to paths that leave their
+	// quota at 0 ("manager default").
+	DefaultQuota int
+
+	// TracePrefix is prepended to domain and path names registered with
+	// the observer's tracer (netsim uses "A."/"B." per host).
+	TracePrefix string
+
+	stats Stats
 }
 
 type noticeKey struct {
@@ -79,6 +88,95 @@ type Stats struct {
 	LazyRefills     uint64
 }
 
+// Check validates the cross-counter invariants; Manager.CheckInvariants
+// calls it so any counter drift fails existing tests at the source.
+func (s Stats) Check() error {
+	if s.Allocs != s.CacheHits+s.CacheMisses {
+		return fmt.Errorf("core: stats drift: Allocs=%d != CacheHits=%d + CacheMisses=%d",
+			s.Allocs, s.CacheHits, s.CacheMisses)
+	}
+	if s.NoticesQueued < s.NoticesPiggy+s.NoticesExplicit {
+		return fmt.Errorf("core: stats drift: NoticesQueued=%d < NoticesPiggy=%d + NoticesExplicit=%d",
+			s.NoticesQueued, s.NoticesPiggy, s.NoticesExplicit)
+	}
+	// Every recycle is triggered by a free or by allocator teardown of a
+	// buffer that was allocated (ClosePath, failed populate rollback).
+	if s.Recycles > s.Frees+s.Allocs {
+		return fmt.Errorf("core: stats drift: Recycles=%d > Frees=%d + Allocs=%d",
+			s.Recycles, s.Frees, s.Allocs)
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the facility counters — the typed read path
+// for tests, benches, and tools (the live struct is unexported so no
+// consumer can drift a duplicate count).
+func (m *Manager) Snapshot() Stats { return m.stats }
+
+// PublishMetrics writes the facility counters and per-path gauges into the
+// registry using Set, so the Stats struct stays the single source of truth.
+func (m *Manager) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := m.stats
+	reg.Counter("core.allocs").Set(s.Allocs)
+	reg.Counter("core.cache_hits").Set(s.CacheHits)
+	reg.Counter("core.cache_misses").Set(s.CacheMisses)
+	reg.Counter("core.transfers").Set(s.Transfers)
+	reg.Counter("core.mappings_built").Set(s.MappingsBuilt)
+	reg.Counter("core.secures").Set(s.Secures)
+	reg.Counter("core.frees").Set(s.Frees)
+	reg.Counter("core.recycles").Set(s.Recycles)
+	reg.Counter("core.notices_queued").Set(s.NoticesQueued)
+	reg.Counter("core.notices_piggy").Set(s.NoticesPiggy)
+	reg.Counter("core.notices_explicit").Set(s.NoticesExplicit)
+	reg.Counter("core.frames_reclaimed").Set(s.FramesReclaimed)
+	reg.Counter("core.lazy_refills").Set(s.LazyRefills)
+	for _, p := range m.paths {
+		reg.Gauge(p.metricPrefix() + "free_depth").Set(int64(len(p.free)))
+	}
+}
+
+// emit sends one event through the host observer, resolving the trace
+// actor from the domain and the track plus generation from the fbuf. The
+// single nil check is the entire disabled-path cost.
+func (m *Manager) emit(kind obs.EventKind, d *domain.Domain, f *Fbuf, arg int64) {
+	o := m.Sys.Obs
+	if o == nil {
+		return
+	}
+	actor, track := obs.NoActor, obs.NoTrack
+	if d != nil {
+		actor = int(d.ID) + m.Sys.TraceBase
+	}
+	var gen uint64
+	if f != nil {
+		gen = f.gen
+		if f.Path != nil {
+			track = f.Path.ID + m.Sys.TraceBase
+		}
+	}
+	o.Emit(kind, actor, track, gen, arg)
+}
+
+// RegisterTraceNames labels every attached domain and path in the
+// observer's tracer, prefixing names with prefix (kept for domains and
+// paths created later). Call after attaching Sys.Obs.
+func (m *Manager) RegisterTraceNames(prefix string) {
+	m.TracePrefix = prefix
+	o := m.Sys.Obs
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	for _, d := range m.attached {
+		o.Tracer.SetActor(int(d.ID)+m.Sys.TraceBase, prefix+d.Name)
+	}
+	for _, p := range m.paths {
+		o.Tracer.SetTrack(p.ID+m.Sys.TraceBase, prefix+p.Name)
+	}
+}
+
 // NewManager creates the fbuf facility with default region geometry.
 func NewManager(sys *vm.System, reg *domain.Registry) *Manager {
 	return NewManagerGeometry(sys, reg, DefaultChunkPages, DefaultRegionChunks)
@@ -97,6 +195,7 @@ func NewManagerGeometry(sys *vm.System, reg *domain.Registry, chunkPages, numChu
 		attached:       make(map[int]*domain.Domain),
 		notices:        make(map[noticeKey][]*Fbuf),
 		NoticeLimit:    32,
+		DefaultQuota:   DefaultPathQuota,
 		emptyLeafFrame: mem.NoFrame,
 	}
 	for i := numChunks - 1; i >= 0; i-- {
@@ -136,6 +235,9 @@ func (m *Manager) AttachDomain(d *domain.Domain) {
 	}
 	m.attached[d.AS.ASID] = d
 	d.OnDeath(m.domainDied)
+	if o := m.Sys.Obs; o != nil && o.Tracer != nil {
+		o.Tracer.SetActor(int(d.ID)+m.Sys.TraceBase, m.TracePrefix+d.Name)
+	}
 }
 
 // Attached reports whether the domain is attached.
@@ -222,7 +324,8 @@ func (m *Manager) fault(as *vm.AddrSpace, va vm.VA, write bool) error {
 		}
 		f.frames[page] = fn
 		as.Map(f.Base+vm.VA(page*machine.PageSize), fn, prot)
-		m.Stats.LazyRefills++
+		m.stats.LazyRefills++
+		m.emit(obs.EvMappingBuilt, d, f, int64(page))
 		f.mapped[d.ID] = true
 		return nil
 	}
@@ -230,6 +333,7 @@ func (m *Manager) fault(as *vm.AddrSpace, va vm.VA, write bool) error {
 	// shot down during reclamation of a sibling page, or first touch by
 	// a receiver of a cached fbuf): just map it.
 	as.Map(f.Base+vm.VA(page*machine.PageSize), f.frames[page], prot)
+	m.emit(obs.EvMappingBuilt, d, f, int64(page))
 	f.mapped[d.ID] = true
 	return nil
 }

@@ -6,8 +6,15 @@ import (
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
+	"fbufs/internal/obs"
+	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 )
+
+// DefaultPathQuota is the manager's default per-path chunk quota, applied
+// to every path whose quota is left at 0 (Manager.DefaultQuota starts at
+// this value and may be tuned per manager).
+const DefaultPathQuota = 8
 
 // DataPath is one I/O data path: the sequence of protection domains that
 // buffers allocated for a particular communication endpoint will traverse
@@ -24,12 +31,17 @@ type DataPath struct {
 
 	free   []*Fbuf // LIFO: most recently freed first (most likely resident)
 	chunks []*chunk
-	quota  int // max chunks; 0 = manager default
+	quota  int // max chunks; 0 = manager default, negative = unlimited
 
 	closed bool
 
 	// Stats
 	Allocated uint64
+
+	// Cached per-path metric handles, resolved on first observed use.
+	allocHist  *obs.Histogram
+	hopHist    *obs.Histogram
+	depthGauge *obs.Gauge
 }
 
 // NewPath creates a data path. fbufPages is the fixed fbuf size for the
@@ -55,10 +67,12 @@ func (m *Manager) NewPath(name string, opts Options, fbufPages int, domains ...*
 		mgr:       m,
 		opts:      opts,
 		fbufPages: fbufPages,
-		quota:     8,
 	}
 	m.nextPath++
 	m.paths[p.ID] = p
+	if o := m.Sys.Obs; o != nil && o.Tracer != nil {
+		o.Tracer.SetTrack(p.ID+m.Sys.TraceBase, m.TracePrefix+name)
+	}
 	return p, nil
 }
 
@@ -71,11 +85,42 @@ func (p *DataPath) FbufPages() int { return p.fbufPages }
 // Originator returns the path's first domain.
 func (p *DataPath) Originator() *domain.Domain { return p.Domains[0] }
 
-// SetQuota adjusts the kernel-imposed chunk limit.
+// SetQuota adjusts the kernel-imposed chunk limit: a positive value is an
+// explicit limit, 0 restores the manager default, negative disables the
+// quota entirely.
 func (p *DataPath) SetQuota(chunks int) { p.quota = chunks }
+
+// Quota returns the effective chunk limit (0 = unlimited): the explicit
+// per-path value when set, otherwise the manager default.
+func (p *DataPath) Quota() int {
+	q := p.quota
+	if q == 0 {
+		q = p.mgr.DefaultQuota
+	}
+	if q < 0 {
+		return 0
+	}
+	return q
+}
 
 // FreeListLen returns the current free-list depth (tests, reclamation).
 func (p *DataPath) FreeListLen() int { return len(p.free) }
+
+// metricPrefix names this path's metrics uniquely across hosts.
+func (p *DataPath) metricPrefix() string {
+	return fmt.Sprintf("path.%d.%s.", p.ID+p.mgr.Sys.TraceBase, p.Name)
+}
+
+// ensureMetrics resolves the per-path histogram/gauge handles once.
+func (p *DataPath) ensureMetrics(o *obs.Observer) {
+	if p.allocHist != nil || o == nil || o.Metrics == nil {
+		return
+	}
+	prefix := p.metricPrefix()
+	p.allocHist = o.Metrics.Histogram(prefix + "alloc_ns")
+	p.hopHist = o.Metrics.Histogram(prefix + "hop_ns")
+	p.depthGauge = o.Metrics.Gauge(prefix + "free_depth")
+}
 
 // Alloc allocates an fbuf from the path allocator on behalf of the
 // originator. In the cached steady state this pops the LIFO free list and
@@ -89,7 +134,12 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	if p.Originator().Dead() {
 		return nil, ErrDeadDomain
 	}
-	m.Stats.Allocs++
+	o := m.Sys.Obs
+	var t0 simtime.Time
+	if o != nil {
+		t0 = o.Now()
+	}
+	m.stats.Allocs++
 	p.Allocated++
 	if p.opts.Cached {
 		if n := len(p.free); n > 0 {
@@ -101,15 +151,40 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 				f = p.free[n-1]
 				p.free = p.free[:n-1]
 			}
-			m.Stats.CacheHits++
+			m.stats.CacheHits++
 			f.state = StateLive
 			f.refs[p.Originator().ID] = 1
 			f.gen++
+			p.observeAlloc(o, f, t0, true)
 			return f, nil
 		}
-		m.Stats.CacheMisses++
 	}
-	return p.carve()
+	// Both the cached miss and the uncached path pay the full carve.
+	m.stats.CacheMisses++
+	f, err := p.carve()
+	if err != nil {
+		return nil, err
+	}
+	p.observeAlloc(o, f, t0, false)
+	return f, nil
+}
+
+// observeAlloc emits the allocation events and samples the path's
+// alloc-latency histogram; o == nil (tracing disabled) costs one branch.
+func (p *DataPath) observeAlloc(o *obs.Observer, f *Fbuf, t0 simtime.Time, hit bool) {
+	if o == nil {
+		return
+	}
+	m := p.mgr
+	m.emit(obs.EvAlloc, p.Originator(), f, int64(f.Pages))
+	if hit {
+		m.emit(obs.EvCacheHit, p.Originator(), f, int64(len(p.free)))
+	} else {
+		m.emit(obs.EvCacheMiss, p.Originator(), f, 0)
+	}
+	p.ensureMetrics(o)
+	p.allocHist.Observe(int64(o.Now() - t0))
+	p.depthGauge.Set(int64(len(p.free)))
 }
 
 // carve builds a brand-new fbuf from chunk space.
@@ -123,7 +198,7 @@ func (p *DataPath) carve() (*Fbuf, error) {
 		}
 	}
 	if c == nil {
-		if p.quota > 0 && len(p.chunks) >= p.quota {
+		if q := p.Quota(); q > 0 && len(p.chunks) >= q {
 			return nil, ErrQuota
 		}
 		var err error
@@ -150,6 +225,7 @@ func (p *DataPath) carve() (*Fbuf, error) {
 	}
 	c.used += p.fbufPages
 	c.fbufs = append(c.fbufs, f)
+	m.emit(obs.EvCarve, p.Originator(), f, int64(p.fbufPages))
 	if p.opts.Populate {
 		if err := m.populate(f); err != nil {
 			// Partial population (physical memory exhausted): release
@@ -189,8 +265,8 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 		return nil, fmt.Errorf("core: uncached fbuf size %d pages outside (0,%d]", pages, m.chunkPages)
 	}
 	opts.Cached = false
-	m.Stats.Allocs++
-	m.Stats.CacheMisses++
+	m.stats.Allocs++
+	m.stats.CacheMisses++
 	// The default allocator draws VA space chunk-at-a-time too, but each
 	// uncached fbuf gets a fresh chunk slot lifecycle: we allocate a VA
 	// range (charged) within a kernel-owned chunk.
@@ -226,6 +302,8 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 	c.used += pages
 	c.fbufs = append(c.fbufs, f)
 	m.uncached[f.Base] = f
+	m.emit(obs.EvAlloc, orig, f, int64(pages))
+	m.emit(obs.EvCacheMiss, orig, f, 0)
 	if opts.Populate {
 		if err := m.populateFill(f, fill); err != nil {
 			f.refs = map[domain.ID]int{}
@@ -313,7 +391,13 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 	if !m.Attached(to) {
 		return ErrNotAttached
 	}
-	m.Stats.Transfers++
+	o := m.Sys.Obs
+	var t0 simtime.Time
+	if o != nil {
+		t0 = o.Now()
+	}
+	m.stats.Transfers++
+	m.emit(obs.EvTransfer, from, f, int64(to.ID)+int64(m.Sys.TraceBase))
 	// Eager immutability enforcement for non-volatile fbufs — a no-op
 	// when the originator is trusted (the kernel), matching section 2.1.3.
 	if !f.opts.Volatile && !f.secured && from == f.Originator && !f.Originator.Trusted {
@@ -333,11 +417,16 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 				continue // lazy: receiver faults will fill
 			}
 			to.AS.Map(f.Base+vm.VA(i*machine.PageSize), f.frames[i], prot)
-			m.Stats.MappingsBuilt++
+			m.stats.MappingsBuilt++
+			m.emit(obs.EvMappingBuilt, to, f, int64(i))
 		}
 		f.mapped[to.ID] = true
 	}
 	f.refs[to.ID]++
+	if o != nil && f.Path != nil {
+		f.Path.ensureMetrics(o)
+		f.Path.hopHist.Observe(int64(o.Now() - t0))
+	}
 	return nil
 }
 
@@ -389,7 +478,8 @@ func (m *Manager) secure(f *Fbuf) {
 		as.SetProt(f.Base+vm.VA(i*machine.PageSize), vm.ProtRead)
 	}
 	f.secured = true
-	m.Stats.Secures++
+	m.stats.Secures++
+	m.emit(obs.EvSecure, f.Originator, f, int64(f.Pages))
 }
 
 // Free drops one of d's references to the fbuf. When the last reference
@@ -404,7 +494,8 @@ func (m *Manager) Free(f *Fbuf, d *domain.Domain) error {
 	if f.refs[d.ID] == 0 {
 		return ErrNotHolder
 	}
-	m.Stats.Frees++
+	m.stats.Frees++
+	m.emit(obs.EvFree, d, f, 0)
 	f.refs[d.ID]--
 	if f.refs[d.ID] == 0 {
 		delete(f.refs, d.ID)
@@ -428,12 +519,16 @@ func (m *Manager) Free(f *Fbuf, d *domain.Domain) error {
 	f.state = StateDrainingNotice
 	k := noticeKey{holder: d.ID, owner: f.Originator.ID}
 	m.notices[k] = append(m.notices[k], f)
-	m.Stats.NoticesQueued++
+	m.stats.NoticesQueued++
+	m.emit(obs.EvNoticeQueued, d, f, int64(len(m.notices[k])))
 	if len(m.notices[k]) >= m.NoticeLimit {
 		// Explicit notification message: costs a kernel call's worth
 		// of work on this host (it is an intra-host message).
 		m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
-		m.Stats.NoticesExplicit += uint64(len(m.notices[k]))
+		batch := len(m.notices[k])
+		m.stats.NoticesExplicit += uint64(batch)
+		m.emit(obs.EvNoticeExplicit, d, nil, int64(batch))
+		m.observeNoticeBatch(batch)
 		m.deliver(k)
 	}
 	return nil
@@ -445,8 +540,17 @@ func (m *Manager) Free(f *Fbuf, d *domain.Domain) error {
 func (m *Manager) DeliverNotices(replier, caller *domain.Domain) {
 	k := noticeKey{holder: replier.ID, owner: caller.ID}
 	if n := len(m.notices[k]); n > 0 {
-		m.Stats.NoticesPiggy += uint64(n)
+		m.stats.NoticesPiggy += uint64(n)
+		m.emit(obs.EvNoticePiggy, replier, nil, int64(n))
+		m.observeNoticeBatch(n)
 		m.deliver(k)
+	}
+}
+
+// observeNoticeBatch samples the notice batch-size histogram.
+func (m *Manager) observeNoticeBatch(n int) {
+	if o := m.Sys.Obs; o != nil {
+		o.Observe("core.notice_batch", int64(n))
 	}
 }
 
@@ -461,7 +565,8 @@ func (m *Manager) deliver(k noticeKey) {
 // LIFO free list with mappings intact and the originator's write permission
 // restored; uncached fbufs are fully torn down.
 func (m *Manager) recycle(f *Fbuf) {
-	m.Stats.Recycles++
+	m.stats.Recycles++
+	m.emit(obs.EvRecycle, f.Originator, f, 0)
 	p := f.Path
 	if p != nil && p.opts.Cached && !p.closed && !f.Originator.Dead() {
 		if f.secured {
@@ -478,6 +583,10 @@ func (m *Manager) recycle(f *Fbuf) {
 		f.state = StateFree
 		f.refs = map[domain.ID]int{}
 		p.free = append(p.free, f) // LIFO push
+		if o := m.Sys.Obs; o != nil {
+			p.ensureMetrics(o)
+			p.depthGauge.Set(int64(len(p.free)))
+		}
 		return
 	}
 	// Full teardown (uncached, or path closed / originator dead).
@@ -563,7 +672,8 @@ func (m *Manager) ReclaimIdle(maxFrames int) int {
 				}
 				f.frames[pg] = mem.NoFrame
 				reclaimed++
-				m.Stats.FramesReclaimed++
+				m.stats.FramesReclaimed++
+				m.emit(obs.EvFrameReclaimed, nil, f, int64(pg))
 			}
 			if reclaimed >= maxFrames {
 				break

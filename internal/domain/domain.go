@@ -12,6 +12,7 @@ package domain
 
 import (
 	"fmt"
+	"sort"
 
 	"fbufs/internal/vm"
 )
@@ -62,6 +63,7 @@ func NewRegistry(sys *vm.System) *Registry {
 		AS:      sys.NewAddrSpace("kernel"),
 		Trusted: true,
 	}
+	r.kernel.AS.Owner = int(KernelID)
 	r.domains[KernelID] = r.kernel
 	r.nextID = 1
 	return r
@@ -77,9 +79,20 @@ func (r *Registry) New(name string) *Domain {
 		Name: name,
 		AS:   r.sys.NewAddrSpace(name),
 	}
+	d.AS.Owner = int(d.ID)
 	r.nextID++
 	r.domains[d.ID] = d
 	return d
+}
+
+// All returns every domain, sorted by ID (trace-name registration).
+func (r *Registry) All() []*Domain {
+	out := make([]*Domain, 0, len(r.domains))
+	for _, d := range r.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Get returns the domain with the given ID, or nil.

@@ -20,6 +20,7 @@ import (
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
+	"fbufs/internal/obs"
 	"fbufs/internal/osiris"
 	"fbufs/internal/protocols"
 	"fbufs/internal/simtime"
@@ -89,6 +90,10 @@ type Config struct {
 	DropEvery int
 	// Frames sizes each host's physical memory (0: 32768 frames=128MB).
 	Frames int
+	// Obs, when non-nil, is attached to both hosts: host A keeps trace
+	// base 0, host B gets base 100, so one Perfetto trace shows both
+	// machines' domains as distinct processes (prefixed "A."/"B.").
+	Obs *obs.Observer
 }
 
 // Result reports a run's measurements.
@@ -169,6 +174,14 @@ func newHost(sched *simtime.Scheduler, name string, cfg Config, txVCI, rxVCI osi
 	h.Mgr = core.NewManager(h.Sys, h.Reg)
 	h.Mgr.EmptyLeafInit = aggregate.EmptyLeafImage
 	h.Env = xkernel.NewEnv(h.Sys, h.Mgr, h.Reg)
+	if cfg.Obs != nil {
+		h.Sys.Obs = cfg.Obs
+		if name != "A" {
+			h.Sys.TraceBase = 100
+		}
+		cfg.Obs.SetNow(sched.Now)
+		h.Mgr.RegisterTraceNames(name + ".")
+	}
 	h.CPU = simtime.NewResource(sched, name+".cpu")
 	h.Bus = simtime.NewResource(sched, name+".bus")
 

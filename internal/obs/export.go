@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChromeTrace writes the held events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Domains
+// appear as processes and data paths as named threads ("tracks") within
+// them; every event is an instant event on the simulated clock (1 trace
+// microsecond = 1 simulated microsecond). Output is deterministic: events
+// in emission order, metadata sorted by id.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+
+	// Collect the (pid, tid) pairs present so each gets metadata.
+	type ptKey struct{ pid, tid int }
+	pids := map[int]bool{}
+	pairs := map[ptKey]bool{}
+	for _, e := range evs {
+		pids[e.Domain] = true
+		pairs[ptKey{e.Domain, tidOf(e.Path)}] = true
+	}
+	sortedPids := make([]int, 0, len(pids))
+	for pid := range pids {
+		sortedPids = append(sortedPids, pid)
+	}
+	sort.Ints(sortedPids)
+	sortedPairs := make([]ptKey, 0, len(pairs))
+	for k := range pairs {
+		sortedPairs = append(sortedPairs, k)
+	}
+	sort.Slice(sortedPairs, func(i, j int) bool {
+		if sortedPairs[i].pid != sortedPairs[j].pid {
+			return sortedPairs[i].pid < sortedPairs[j].pid
+		}
+		return sortedPairs[i].tid < sortedPairs[j].tid
+	})
+
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+	for _, pid := range sortedPids {
+		sep()
+		fmt.Fprintf(&b, `{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jstr(t.ActorName(pid)))
+	}
+	for _, k := range sortedPairs {
+		sep()
+		fmt.Fprintf(&b, `{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			k.pid, k.tid, jstr(t.TrackName(pathOf(k.tid))))
+	}
+	for _, e := range evs {
+		sep()
+		ns := int64(e.At)
+		fmt.Fprintf(&b, `{"ph":"i","name":%s,"pid":%d,"tid":%d,"ts":%d.%03d,"s":"t","args":{"gen":%d,"arg":%d}}`,
+			jstr(e.Kind.String()), e.Domain, tidOf(e.Path), ns/1000, ns%1000, e.Gen, e.Arg)
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// tidOf maps a track id to a Chrome tid. Chrome tids are per-pid and must
+// be >= 0; track NoTrack (-1, host-level events) becomes tid 0 and paths
+// shift up by one.
+func tidOf(path int) int { return path + 1 }
+
+// pathOf inverts tidOf.
+func pathOf(tid int) int { return tid - 1 }
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	data, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `"?"`
+	}
+	return string(data)
+}
+
+// Format renders one event as a human-readable timeline line, resolving
+// actor and track names.
+func (t *Tracer) Format(e Event) string {
+	ns := int64(e.At)
+	return fmt.Sprintf("%7d.%03dus %-14s %-12s %-12s gen=%-3d arg=%d",
+		ns/1000, ns%1000, e.Kind, t.ActorName(e.Domain), t.TrackName(e.Path), e.Gen, e.Arg)
+}
+
+// WriteTimeline writes the held events as a human-readable timeline —
+// the upgraded form of cmd/fbufsim's annotated trace.
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, t.Format(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+// Package obs is the unified observability layer: a low-overhead structured
+// event tracer on the simulated clock plus a registry of named counters,
+// gauges, and log-scale histograms. Every layer of the stack (vm, core,
+// protocols, osiris, netsim) emits through an *Observer attached to the
+// host's vm.System; when no observer is attached every hook is a nil-check
+// and the simulation's costs and results are bit-identical to running
+// without the package.
+//
+// Events are stamped with simulated time, a trace actor (domain ID plus the
+// host's trace base), a track (data-path ID plus trace base, or -1), and
+// the fbuf's recycle generation, so a Chrome trace-event export shows
+// domains as processes and data paths as tracks in Perfetto.
+package obs
+
+import (
+	"fbufs/internal/simtime"
+)
+
+// EventKind enumerates the traced operations — the paper's cost taxonomy
+// (allocation, mapping, protection, free/notice, TLB, device) as discrete
+// events.
+type EventKind uint8
+
+// Event kinds. The zero value is reserved so an all-zero Event is
+// recognizably empty.
+const (
+	EvNone EventKind = iota
+	EvAlloc
+	EvCacheHit
+	EvCacheMiss
+	EvCarve
+	EvTransfer
+	EvMappingBuilt
+	EvSecure
+	EvFree
+	EvRecycle
+	EvNoticeQueued
+	EvNoticePiggy
+	EvNoticeExplicit
+	EvFrameReclaimed
+	EvTLBMiss
+	EvPageFault
+	EvPktSend
+	EvPktRecv
+	EvDMAStart
+	EvDMADone
+
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	EvNone:           "None",
+	EvAlloc:          "Alloc",
+	EvCacheHit:       "CacheHit",
+	EvCacheMiss:      "CacheMiss",
+	EvCarve:          "Carve",
+	EvTransfer:       "Transfer",
+	EvMappingBuilt:   "MappingBuilt",
+	EvSecure:         "Secure",
+	EvFree:           "Free",
+	EvRecycle:        "Recycle",
+	EvNoticeQueued:   "NoticeQueued",
+	EvNoticePiggy:    "NoticePiggy",
+	EvNoticeExplicit: "NoticeExplicit",
+	EvFrameReclaimed: "FrameReclaimed",
+	EvTLBMiss:        "TLBMiss",
+	EvPageFault:      "PageFault",
+	EvPktSend:        "PktSend",
+	EvPktRecv:        "PktRecv",
+	EvDMAStart:       "DMAStart",
+	EvDMADone:        "DMADone",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "EventKind(?)"
+}
+
+// NoTrack marks an event not associated with any data path (and NoActor an
+// event not attributable to a domain).
+const (
+	NoActor = -1
+	NoTrack = -1
+)
+
+// Event is one traced operation.
+type Event struct {
+	At     simtime.Time // simulated timestamp
+	Kind   EventKind
+	Domain int    // trace actor: domain ID + host trace base, or NoActor
+	Path   int    // trace track: path ID + host trace base, or NoTrack
+	Gen    uint64 // fbuf recycle generation, 0 when not fbuf-related
+	Arg    int64  // kind-specific payload (pages, bytes, VPN, batch size)
+}
+
+// Tracer is a bounded ring buffer of events. A nil *Tracer is valid and
+// ignores every call — the disabled fast path.
+type Tracer struct {
+	buf   []Event
+	next  int    // next write slot
+	n     int    // valid events, <= len(buf)
+	total uint64 // events ever emitted (sequence numbers)
+
+	now    func() simtime.Time
+	actors map[int]string // trace actor id -> display name
+	tracks map[int]string // trace track id -> display name
+}
+
+// NewTracer creates a tracer holding at most capacity events; older events
+// are overwritten once the ring fills.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		buf:    make([]Event, capacity),
+		actors: make(map[int]string),
+		tracks: make(map[int]string),
+	}
+}
+
+// SetNow installs the simulated-clock reader used to stamp events.
+func (t *Tracer) SetNow(fn func() simtime.Time) {
+	if t != nil {
+		t.now = fn
+	}
+}
+
+// Emit records one event. Safe on a nil receiver (tracing disabled).
+func (t *Tracer) Emit(kind EventKind, domain, path int, gen uint64, arg int64) {
+	if t == nil {
+		return
+	}
+	var at simtime.Time
+	if t.now != nil {
+		at = t.now()
+	}
+	t.buf[t.next] = Event{At: at, Kind: kind, Domain: domain, Path: path, Gen: gen, Arg: arg}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.total++
+}
+
+// Count returns the number of events currently held.
+func (t *Tracer) Count() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Total returns the number of events ever emitted.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(t.n)
+}
+
+// Events returns the held events in emission order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Since returns the events emitted at or after sequence number seq (as
+// returned by Total before an operation) that are still in the buffer.
+func (t *Tracer) Since(seq uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	evs := t.Events()
+	first := t.total - uint64(len(evs)) // sequence number of evs[0]
+	if seq <= first {
+		return evs
+	}
+	if seq >= t.total {
+		return nil
+	}
+	return evs[seq-first:]
+}
+
+// SetActor names a trace actor (a domain) for the exporters.
+func (t *Tracer) SetActor(id int, name string) {
+	if t != nil {
+		t.actors[id] = name
+	}
+}
+
+// SetTrack names a trace track (a data path) for the exporters.
+func (t *Tracer) SetTrack(id int, name string) {
+	if t != nil {
+		t.tracks[id] = name
+	}
+}
+
+// ActorName returns the display name for an actor id.
+func (t *Tracer) ActorName(id int) string {
+	if t != nil {
+		if n, ok := t.actors[id]; ok {
+			return n
+		}
+	}
+	if id == NoActor {
+		return "-"
+	}
+	return "domain " + itoa(id)
+}
+
+// TrackName returns the display name for a track id.
+func (t *Tracer) TrackName(id int) string {
+	if t != nil {
+		if n, ok := t.tracks[id]; ok {
+			return n
+		}
+	}
+	if id == NoTrack {
+		return "host"
+	}
+	return "path " + itoa(id)
+}
+
+// Observer bundles a tracer and a metrics registry; it is the single handle
+// the simulation layers hold. A nil *Observer disables everything.
+type Observer struct {
+	Tracer  *Tracer
+	Metrics *Registry
+
+	now func() simtime.Time
+}
+
+// New creates an observer with an event ring of the given capacity and an
+// empty metrics registry.
+func New(eventCap int) *Observer {
+	return &Observer{Tracer: NewTracer(eventCap), Metrics: NewRegistry()}
+}
+
+// SetNow installs the simulated-clock reader (for event stamps and latency
+// measurements). Safe on nil.
+func (o *Observer) SetNow(fn func() simtime.Time) {
+	if o == nil {
+		return
+	}
+	o.now = fn
+	o.Tracer.SetNow(fn)
+}
+
+// Now reads the attached simulated clock; zero when none is attached.
+func (o *Observer) Now() simtime.Time {
+	if o == nil || o.now == nil {
+		return 0
+	}
+	return o.now()
+}
+
+// Emit records an event through the tracer. Safe on nil.
+func (o *Observer) Emit(kind EventKind, domain, path int, gen uint64, arg int64) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Emit(kind, domain, path, gen, arg)
+}
+
+// Observe records a histogram sample by name. Hot paths should cache the
+// *Histogram instead; this is the convenience form. Safe on nil.
+func (o *Observer) Observe(name string, v int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Histogram(name).Observe(v)
+}
+
+// itoa is strconv.Itoa without the import (keeps the hot-path file lean).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fbufs/internal/simtime"
+)
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	var now simtime.Time
+	tr.SetNow(func() simtime.Time { return now })
+	for i := 0; i < 10; i++ {
+		now = simtime.Time(i * 100)
+		tr.Emit(EvAlloc, 1, 0, uint64(i), int64(i))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total %d", tr.Total())
+	}
+	if tr.Count() != 4 {
+		t.Fatalf("count %d", tr.Count())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events %d", len(evs))
+	}
+	for i, e := range evs {
+		want := int64(6 + i) // oldest surviving is #6
+		if e.Arg != want || e.At != simtime.Time(want*100) {
+			t.Fatalf("event %d: arg=%d at=%v, want arg=%d", i, e.Arg, e.At, want)
+		}
+	}
+}
+
+func TestEventOrderingOnSimulatedClock(t *testing.T) {
+	tr := NewTracer(64)
+	clk := &simtime.Clock{}
+	tr.SetNow(clk.Now)
+	stamps := []simtime.Duration{0, 30, 0, 2500, 1}
+	for i, d := range stamps {
+		clk.Advance(d)
+		tr.Emit(EvTransfer, 0, 0, 0, int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != len(stamps) {
+		t.Fatalf("events %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("event %d at %v precedes event %d at %v", i, evs[i].At, i-1, evs[i-1].At)
+		}
+		if evs[i].Arg <= evs[i-1].Arg {
+			t.Fatal("emission order lost")
+		}
+	}
+}
+
+func TestSince(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr.Emit(EvFree, 0, 0, 0, int64(i))
+	}
+	mark := tr.Total()
+	tr.Emit(EvRecycle, 0, 0, 0, 3)
+	tr.Emit(EvRecycle, 0, 0, 0, 4)
+	got := tr.Since(mark)
+	if len(got) != 2 || got[0].Arg != 3 || got[1].Arg != 4 {
+		t.Fatalf("since: %+v", got)
+	}
+	// A mark older than the ring start returns everything held.
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvFree, 0, 0, 0, 0)
+	}
+	if n := len(tr.Since(0)); n != 4 {
+		t.Fatalf("since(0) after wrap: %d events", n)
+	}
+	if n := len(tr.Since(tr.Total())); n != 0 {
+		t.Fatalf("since(total): %d events", n)
+	}
+}
+
+// TestChromeTraceRoundTrip checks the export both against a golden literal
+// (byte-level format stability) and through encoding/json (validity).
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	var now simtime.Time
+	tr.SetNow(func() simtime.Time { return now })
+	tr.SetActor(1, "app")
+	tr.SetTrack(0, "video")
+	now = 1500 // 1.5 us
+	tr.Emit(EvAlloc, 1, 0, 7, 4)
+	now = 2001
+	tr.Emit(EvTLBMiss, 1, NoTrack, 0, 99)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"traceEvents":[
+{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"app"}},
+{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"host"}},
+{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"video"}},
+{"ph":"i","name":"Alloc","pid":1,"tid":1,"ts":1.500,"s":"t","args":{"gen":7,"arg":4}},
+{"ph":"i","name":"TLBMiss","pid":1,"tid":0,"ts":2.001,"s":"t","args":{"gen":0,"arg":99}}
+],"displayTimeUnit":"ns"}
+`
+	if buf.String() != golden {
+		t.Fatalf("export differs from golden:\n%s", buf.String())
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Args struct {
+				Gen uint64 `json:"gen"`
+				Arg int64  `json:"arg"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events", len(doc.TraceEvents))
+	}
+	e := doc.TraceEvents[3]
+	if e.Ph != "i" || e.Name != "Alloc" || e.Pid != 1 || e.Tid != 1 || e.Ts != 1.5 ||
+		e.Args.Gen != 7 || e.Args.Arg != 4 {
+		t.Fatalf("instant event round-trip: %+v", e)
+	}
+}
+
+func TestExportDeterminism(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer(8)
+		clk := &simtime.Clock{}
+		tr.SetNow(clk.Now)
+		tr.SetActor(0, "kernel")
+		tr.SetActor(1, "app")
+		tr.SetTrack(0, "p0")
+		for i := 0; i < 12; i++ { // wraps
+			clk.Advance(simtime.Duration(i * 7))
+			tr.Emit(EventKind(1+i%int(numEventKinds-1)), i%2, i%3-1, uint64(i), int64(i))
+		}
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical runs produced different trace exports")
+	}
+	var am, bm bytes.Buffer
+	reg := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z").Add(3)
+		r.Counter("a").Add(1)
+		r.Gauge("depth").Set(-2)
+		h := r.Histogram("lat")
+		for _, v := range []int64{0, 1, 5, 5, 900} {
+			h.Observe(v)
+		}
+		return r
+	}
+	if err := reg().Snapshot().WriteJSON(&am); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg().Snapshot().WriteJSON(&bm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(am.Bytes(), bm.Bytes()) {
+		t.Fatal("metrics snapshots differ between identical runs")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1<<62 - 1, 62}, {1 << 62, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if c.bucket > 0 {
+			lo, hi := BucketBounds(c.bucket)
+			if c.v < lo || c.v > hi {
+				t.Errorf("value %d outside its bucket bounds [%d,%d]", c.v, lo, hi)
+			}
+		}
+	}
+	h := &Histogram{}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count %d", h.Count())
+	}
+	snap := NewRegistry()
+	snap.hists["h"] = h
+	hs := snap.Snapshot().Histograms["h"]
+	if hs.Min != -5 || hs.Max != 1<<62 {
+		t.Fatalf("min/max %d/%d", hs.Min, hs.Max)
+	}
+	var total uint64
+	for _, b := range hs.Buckets {
+		total += b.N
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket sum %d != count %d", total, hs.Count)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(EvAlloc, 0, 0, 0, 0)
+	tr.SetActor(0, "x")
+	if tr.Count() != 0 || tr.Total() != 0 || tr.Events() != nil || tr.Since(0) != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	var o *Observer
+	o.Emit(EvAlloc, 0, 0, 0, 0)
+	o.Observe("x", 1)
+	o.SetNow(nil)
+	if o.Now() != 0 {
+		t.Fatal("nil observer not inert")
+	}
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	if r.Counter("c").Value() != 0 {
+		t.Fatal("nil registry not inert")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
+	"fbufs/internal/obs"
 	"fbufs/internal/simtime"
 	"fbufs/internal/xkernel"
 )
@@ -123,6 +124,9 @@ func (d *Driver) Push(m *aggregate.Msg) error {
 	}
 	d.txq = append(d.txq, TxPDU{VCI: d.TxVCI, Data: data, CPUOffset: d.CPUOffset()})
 	d.TxPDUs++
+	if o := d.env.Sys.Obs; o != nil {
+		o.Emit(obs.EvDMAStart, int(d.Dom().ID)+d.env.Sys.TraceBase, obs.NoTrack, 0, int64(len(data)))
+	}
 	return m.Free(d.Dom())
 }
 
@@ -192,6 +196,9 @@ func (d *Driver) Receive(v VCI, data []byte) error {
 	cost := d.env.Sys.Cost
 	d.env.Sys.Sink().Charge(cost.InterruptCost + cost.DriverPerPDU)
 	d.RxPDUs++
+	if o := d.env.Sys.Obs; o != nil {
+		o.Emit(obs.EvDMADone, int(d.Dom().ID)+d.env.Sys.TraceBase, obs.NoTrack, 0, int64(len(data)))
+	}
 	pages := (len(data) + machine.PageSize - 1) / machine.PageSize
 	if pages == 0 {
 		pages = 1

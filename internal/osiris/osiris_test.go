@@ -128,7 +128,7 @@ func TestRxCachedVCI(t *testing.T) {
 	if err := d.Receive(5, data); err != nil {
 		t.Fatal(err)
 	}
-	if r.mgr.Stats.CacheHits == 0 {
+	if r.mgr.Snapshot().CacheHits == 0 {
 		t.Fatal("no reassembly-buffer cache hit")
 	}
 }

@@ -317,7 +317,7 @@ func TestCachedStackReusesFbufs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := r.mgr.Stats
+	st := r.mgr.Snapshot()
 	if st.CacheHits == 0 {
 		t.Fatal("no allocator cache hits across repeated sends")
 	}
@@ -326,9 +326,9 @@ func TestCachedStackReusesFbufs(t *testing.T) {
 	if err := s.Send(20000); err != nil {
 		t.Fatal(err)
 	}
-	if r.mgr.Stats.MappingsBuilt != before {
+	if r.mgr.Snapshot().MappingsBuilt != before {
 		t.Fatalf("steady-state send built %d mappings",
-			r.mgr.Stats.MappingsBuilt-before)
+			r.mgr.Snapshot().MappingsBuilt-before)
 	}
 }
 

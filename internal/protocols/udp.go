@@ -13,6 +13,7 @@ import (
 
 	"fbufs/internal/aggregate"
 	"fbufs/internal/machine"
+	"fbufs/internal/obs"
 	"fbufs/internal/simtime"
 	"fbufs/internal/xkernel"
 )
@@ -82,6 +83,7 @@ func (u *UDP) Push(m *aggregate.Msg) error { return u.push(m, u.LocalPort, u.Rem
 
 func (u *UDP) push(m *aggregate.Msg, local, remote uint16) error {
 	u.env.Sys.Sink().Charge(u.env.Sys.Cost.UDPPerMsg)
+	u.emitPkt(obs.EvPktSend, m.Len())
 	var hdr [UDPHeaderBytes]byte
 	binary.BigEndian.PutUint16(hdr[0:], local)
 	binary.BigEndian.PutUint16(hdr[2:], remote)
@@ -104,9 +106,17 @@ func (u *UDP) push(m *aggregate.Msg, local, remote uint16) error {
 	return u.PushBelow(out)
 }
 
+// emitPkt traces a UDP packet event attributed to the protocol's domain.
+func (u *UDP) emitPkt(kind obs.EventKind, bytes int) {
+	if o := u.env.Sys.Obs; o != nil {
+		o.Emit(kind, int(u.Dom().ID)+u.env.Sys.TraceBase, obs.NoTrack, 0, int64(bytes))
+	}
+}
+
 // Deliver strips the header and demultiplexes on the destination port.
 func (u *UDP) Deliver(m *aggregate.Msg) error {
 	u.env.Sys.Sink().Charge(u.env.Sys.Cost.UDPPerMsg)
+	u.emitPkt(obs.EvPktRecv, m.Len())
 	if m.Len() < UDPHeaderBytes {
 		u.Dropped++
 		return m.Free(u.Dom())

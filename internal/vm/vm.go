@@ -20,6 +20,7 @@ import (
 
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
+	"fbufs/internal/obs"
 	"fbufs/internal/simtime"
 )
 
@@ -148,6 +149,15 @@ type System struct {
 	Mem  *mem.PhysMem
 	TLB  *machine.TLB
 
+	// Obs, when non-nil, receives trace events and metrics from every
+	// layer on this host. nil (the default) disables observability with a
+	// single pointer check per hook.
+	Obs *obs.Observer
+	// TraceBase is added to domain and path IDs in trace events so
+	// multi-host simulations sharing one observer get disjoint trace
+	// actors (netsim gives host B base 100).
+	TraceBase int
+
 	sink     CostSink
 	nextASID int
 
@@ -164,6 +174,20 @@ func NewSystem(cost *machine.CostTable, frames int, sink CostSink) *System {
 		TLB:  machine.NewTLB(0),
 		sink: sink,
 	}
+}
+
+// PublishMetrics writes the VM and TLB counters into the registry. The
+// struct fields remain the source of truth; Set overwrites so repeated
+// publishing never double-counts.
+func (s *System) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("vm.faults").Set(s.Faults)
+	reg.Counter("vm.violations").Set(s.Violations)
+	hits, misses := s.TLB.Stats()
+	reg.Counter("tlb.hits").Set(hits)
+	reg.Counter("tlb.misses").Set(misses)
 }
 
 // SetSink replaces the cost sink (the event-driven harness swaps in a Meter
@@ -185,6 +209,9 @@ type AddrSpace struct {
 	Sys  *System
 	ASID int
 	Name string
+	// Owner is the owning domain's ID for trace attribution, or -1 when
+	// the space belongs to no domain (package domain sets it).
+	Owner int
 
 	regions []*Region // sorted by Start
 	pt      map[uint64]PTE
@@ -210,6 +237,7 @@ func (s *System) NewAddrSpace(name string) *AddrSpace {
 		Sys:     s,
 		ASID:    s.nextASID,
 		Name:    name,
+		Owner:   -1,
 		pt:      make(map[uint64]PTE),
 		nextVA:  PrivateBase,
 		freeVAs: make(map[int][]VA),
@@ -378,6 +406,15 @@ func (as *AddrSpace) SetCOW(va VA) bool {
 	return true
 }
 
+// traceActor maps the address space to its trace actor id (owning domain
+// plus the host trace base), or obs.NoActor for ownerless spaces.
+func (as *AddrSpace) traceActor() int {
+	if as.Owner < 0 {
+		return obs.NoActor
+	}
+	return as.Owner + as.Sys.TraceBase
+}
+
 // Lookup returns the PTE for the page containing va.
 func (as *AddrSpace) Lookup(va VA) (PTE, bool) {
 	pte, ok := as.pt[va.VPN()]
@@ -396,6 +433,9 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 	sys := as.Sys
 	if sys.TLB.Touch(as.ASID, va.VPN()) {
 		sys.charge(sys.Cost.TLBMiss)
+		if sys.Obs != nil {
+			sys.Obs.Emit(obs.EvTLBMiss, as.traceActor(), obs.NoTrack, 0, int64(va.VPN()))
+		}
 	}
 	for attempt := 0; ; attempt++ {
 		pte, ok := as.pt[va.VPN()]
@@ -409,6 +449,9 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 		// Fault path.
 		sys.Faults++
 		sys.charge(sys.Cost.FaultTrap)
+		if sys.Obs != nil {
+			sys.Obs.Emit(obs.EvPageFault, as.traceActor(), obs.NoTrack, 0, int64(va.VPN()))
+		}
 		if ok && pte.COW && write {
 			if err := as.resolveCOW(va, pte); err != nil {
 				return mem.NoFrame, err
