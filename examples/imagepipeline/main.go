@@ -34,7 +34,7 @@ func fbufPipeline() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	path.SetQuota(0) // unlimited for this trusted path
+	path.SetQuota(-1) // unlimited for this trusted path
 	srcCtx, err := sys.NewCtx(path)
 	if err != nil {
 		log.Fatal(err)

@@ -22,8 +22,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	pids := map[int]bool{}
 	pairs := map[ptKey]bool{}
 	for _, e := range evs {
-		pids[e.Domain] = true
-		pairs[ptKey{e.Domain, tidOf(e.Path)}] = true
+		pids[pidOf(e.Domain)] = true
+		pairs[ptKey{pidOf(e.Domain), tidOf(e.Path)}] = true
 	}
 	sortedPids := make([]int, 0, len(pids))
 	for pid := range pids {
@@ -53,7 +53,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for _, pid := range sortedPids {
 		sep()
 		fmt.Fprintf(&b, `{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
-			pid, jstr(t.ActorName(pid)))
+			pid, jstr(t.ActorName(actorOf(pid))))
 	}
 	for _, k := range sortedPairs {
 		sep()
@@ -64,7 +64,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		sep()
 		ns := int64(e.At)
 		fmt.Fprintf(&b, `{"ph":"i","name":%s,"pid":%d,"tid":%d,"ts":%d.%03d,"s":"t","args":{"gen":%d,"arg":%d}}`,
-			jstr(e.Kind.String()), e.Domain, tidOf(e.Path), ns/1000, ns%1000, e.Gen, e.Arg)
+			jstr(e.Kind.String()), pidOf(e.Domain), tidOf(e.Path), ns/1000, ns%1000, e.Gen, e.Arg)
 	}
 	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
 	_, err := w.Write(b.Bytes())
@@ -78,6 +78,14 @@ func tidOf(path int) int { return path + 1 }
 
 // pathOf inverts tidOf.
 func pathOf(tid int) int { return tid - 1 }
+
+// pidOf maps a trace actor to a Chrome pid the same way: actor NoActor
+// (-1, ownerless events) becomes the reserved "host" pid 0 and domains
+// shift up by one, keeping every exported pid non-negative.
+func pidOf(domain int) int { return domain + 1 }
+
+// actorOf inverts pidOf.
+func actorOf(pid int) int { return pid - 1 }
 
 // jstr renders s as a JSON string literal.
 func jstr(s string) string {

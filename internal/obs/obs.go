@@ -128,9 +128,10 @@ func (t *Tracer) SetNow(fn func() simtime.Time) {
 	}
 }
 
-// Emit records one event. Safe on a nil receiver (tracing disabled).
+// Emit records one event. Safe on a nil receiver (tracing disabled) and on
+// a zero-value Tracer not built via NewTracer (no ring: events are dropped).
 func (t *Tracer) Emit(kind EventKind, domain, path int, gen uint64, arg int64) {
-	if t == nil {
+	if t == nil || len(t.buf) == 0 {
 		return
 	}
 	var at simtime.Time
@@ -207,16 +208,24 @@ func (t *Tracer) Since(seq uint64) []Event {
 
 // SetActor names a trace actor (a domain) for the exporters.
 func (t *Tracer) SetActor(id int, name string) {
-	if t != nil {
-		t.actors[id] = name
+	if t == nil {
+		return
 	}
+	if t.actors == nil {
+		t.actors = make(map[int]string)
+	}
+	t.actors[id] = name
 }
 
 // SetTrack names a trace track (a data path) for the exporters.
 func (t *Tracer) SetTrack(id int, name string) {
-	if t != nil {
-		t.tracks[id] = name
+	if t == nil {
+		return
 	}
+	if t.tracks == nil {
+		t.tracks = make(map[int]string)
+	}
+	t.tracks[id] = name
 }
 
 // ActorName returns the display name for an actor id.
@@ -227,7 +236,7 @@ func (t *Tracer) ActorName(id int) string {
 		}
 	}
 	if id == NoActor {
-		return "-"
+		return "host"
 	}
 	return "domain " + itoa(id)
 }

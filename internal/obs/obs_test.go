@@ -96,17 +96,22 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	tr.Emit(EvAlloc, 1, 0, 7, 4)
 	now = 2001
 	tr.Emit(EvTLBMiss, 1, NoTrack, 0, 99)
+	now = 2500
+	tr.Emit(EvTLBMiss, NoActor, NoTrack, 0, 55) // ownerless: reserved pid 0
 
 	var buf bytes.Buffer
 	if err := tr.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
 	golden := `{"traceEvents":[
-{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"app"}},
-{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"host"}},
-{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"video"}},
-{"ph":"i","name":"Alloc","pid":1,"tid":1,"ts":1.500,"s":"t","args":{"gen":7,"arg":4}},
-{"ph":"i","name":"TLBMiss","pid":1,"tid":0,"ts":2.001,"s":"t","args":{"gen":0,"arg":99}}
+{"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"host"}},
+{"ph":"M","name":"process_name","pid":2,"tid":0,"args":{"name":"app"}},
+{"ph":"M","name":"thread_name","pid":0,"tid":0,"args":{"name":"host"}},
+{"ph":"M","name":"thread_name","pid":2,"tid":0,"args":{"name":"host"}},
+{"ph":"M","name":"thread_name","pid":2,"tid":1,"args":{"name":"video"}},
+{"ph":"i","name":"Alloc","pid":2,"tid":1,"ts":1.500,"s":"t","args":{"gen":7,"arg":4}},
+{"ph":"i","name":"TLBMiss","pid":2,"tid":0,"ts":2.001,"s":"t","args":{"gen":0,"arg":99}},
+{"ph":"i","name":"TLBMiss","pid":0,"tid":0,"ts":2.500,"s":"t","args":{"gen":0,"arg":55}}
 ],"displayTimeUnit":"ns"}
 `
 	if buf.String() != golden {
@@ -129,13 +134,18 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("export is not valid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != 5 {
+	if len(doc.TraceEvents) != 8 {
 		t.Fatalf("got %d trace events", len(doc.TraceEvents))
 	}
-	e := doc.TraceEvents[3]
-	if e.Ph != "i" || e.Name != "Alloc" || e.Pid != 1 || e.Tid != 1 || e.Ts != 1.5 ||
+	e := doc.TraceEvents[5]
+	if e.Ph != "i" || e.Name != "Alloc" || e.Pid != 2 || e.Tid != 1 || e.Ts != 1.5 ||
 		e.Args.Gen != 7 || e.Args.Arg != 4 {
 		t.Fatalf("instant event round-trip: %+v", e)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Pid < 0 || e.Tid < 0 {
+			t.Fatalf("negative pid/tid in export: %+v", e)
+		}
 	}
 }
 
@@ -233,6 +243,18 @@ func TestNilSafety(t *testing.T) {
 	tr.SetActor(0, "x")
 	if tr.Count() != 0 || tr.Total() != 0 || tr.Events() != nil || tr.Since(0) != nil {
 		t.Fatal("nil tracer not inert")
+	}
+	// A zero-value Tracer (not built via NewTracer) has no ring; it must
+	// drop events rather than panic, and naming must lazily allocate.
+	zt := &Tracer{}
+	zt.Emit(EvAlloc, 0, 0, 0, 0)
+	if zt.Count() != 0 || zt.Total() != 0 {
+		t.Fatal("zero-value tracer not inert")
+	}
+	zt.SetActor(1, "a")
+	zt.SetTrack(1, "p")
+	if zt.ActorName(1) != "a" || zt.TrackName(1) != "p" {
+		t.Fatal("zero-value tracer naming broken")
 	}
 	var o *Observer
 	o.Emit(EvAlloc, 0, 0, 0, 0)

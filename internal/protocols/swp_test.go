@@ -133,7 +133,7 @@ func newSWPRig(t *testing.T, dropEvery int, reorder bool) *swpRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path.SetQuota(0)
+	path.SetQuota(-1)
 	ctxA, err := aggregate.NewCtx(r.mgr, path, true)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +142,7 @@ func newSWPRig(t *testing.T, dropEvery int, reorder bool) *swpRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path2.SetQuota(0)
+	path2.SetQuota(-1)
 	ctxB, err := aggregate.NewCtx(r.mgr, path2, true)
 	if err != nil {
 		t.Fatal(err)
