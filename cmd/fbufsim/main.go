@@ -54,6 +54,7 @@ type config struct {
 	tracePath   string // Chrome trace-event JSON output, "" = off
 	metricsPath string // metrics snapshot JSON output, "" = off
 	events      bool   // print tracer events under each step
+	fbsan       bool   // enable the runtime sanitizer for the run
 }
 
 func main() {
@@ -67,6 +68,7 @@ func main() {
 	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file")
 	flag.BoolVar(&cfg.events, "events", true, "print structured tracer events beneath each step")
+	flag.BoolVar(&cfg.fbsan, "fbsan", false, "enable the fbsan runtime sanitizer (canaries, DMA checks, shadow audits)")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -88,6 +90,9 @@ func run(w io.Writer, cfg config) error {
 	}
 
 	sys := fbufs.New(4096)
+	if cfg.fbsan {
+		sys.Fbufs.EnableSanitizer()
+	}
 	o := sys.Observe(1 << 16)
 	doms := []*fbufs.Domain{sys.NewDomain("origin")}
 	for i := 1; i < cfg.ndomains; i++ {
@@ -160,6 +165,11 @@ func run(w io.Writer, cfg config) error {
 		"%d mapping ops, %d secures, %d recycles\n",
 		sys.Now(), st.Allocs, st.CacheHits, st.Transfers, st.MappingsBuilt,
 		st.Secures, st.Recycles)
+	if cfg.fbsan {
+		ss := sys.Fbufs.Sanitizer().Stats()
+		fmt.Fprintf(w, "fbsan: %d pages poisoned, %d verified, %d DMA checks, %d shadow audits, %d violations\n",
+			ss.PoisonedPages, ss.VerifiedPages, ss.DMAChecks, ss.ShadowAudits, ss.Violations)
+	}
 	return export(sys, o, cfg)
 }
 
@@ -200,6 +210,9 @@ func export(sys *fbufs.System, o *obs.Observer, cfg config) error {
 // steady-state message (warm-up traffic excluded).
 func traceStack(w io.Writer, opts fbufs.Options, cfg config) error {
 	sys := fbufs.New(1 << 14)
+	if cfg.fbsan {
+		sys.Fbufs.EnableSanitizer()
+	}
 	o := sys.Observe(1 << 16)
 	src := sys.NewDomain("app")
 	net := sys.NewDomain("netserver")

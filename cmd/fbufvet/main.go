@@ -1,0 +1,16 @@
+// Command fbufvet is the fbuf protocol invariant checker. It runs two
+// ways:
+//
+//	go vet -vettool=$(pwd)/fbufvet ./...   # as a vettool (preferred)
+//	fbufvet ./...                          # standalone, from the module
+//
+// It bundles four analyzers — fbufcheck, errflow, detlint, obshook — each
+// individually switchable (e.g. `go vet -vettool=... -detlint=false`).
+// See internal/analysis for what each checks and why.
+package main
+
+import "fbufs/internal/analysis"
+
+func main() {
+	analysis.VetMain()
+}

@@ -363,6 +363,11 @@ func (c *Ctx) fromSegs(segs []Seg) (*Msg, error) {
 		m.rootVA = root
 		m.fbufs = mergeFbufSets(m.fbufs, nodeFbufs)
 	}
+	if s := c.Mgr.Sanitizer(); s != nil {
+		if err := c.validateMsg(m); err != nil {
+			s.Violation("aggregate msg build: %v", err)
+		}
+	}
 	return m, nil
 }
 

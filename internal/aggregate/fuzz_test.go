@@ -1,0 +1,154 @@
+package aggregate
+
+import (
+	"testing"
+
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// newFuzzRig builds the same environment as newRig but without a
+// *testing.T, so FuzzOpen's seed construction (which runs under
+// *testing.F) can share it with the fuzz body.
+func newFuzzRig() *rig {
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 8192, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := core.NewManager(sys, reg)
+	mgr.EmptyLeafInit = EmptyLeafImage
+	r := &rig{clk: clk, sys: sys, reg: reg, mgr: mgr}
+	r.src = reg.New("src")
+	r.dst = reg.New("dst")
+	mgr.AttachDomain(r.src)
+	mgr.AttachDomain(r.dst)
+	return r
+}
+
+// fuzzFbuf allocates a populated two-page fbuf on a volatile cached path,
+// stamps the raw image into it (device-style, bypassing the MMU exactly
+// as a hostile or buggy sender could), and transfers it to the receiver.
+func fuzzFbuf(r *rig, image []byte) (*core.Fbuf, error) {
+	opts := core.CachedVolatile()
+	opts.Populate = true
+	p, err := r.mgr.NewPath("fuzz", opts, 2, r.src, r.dst)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	n := len(image)
+	if n > f.Size() {
+		n = f.Size()
+	}
+	if n > 0 {
+		if err := f.DMAWrite(0, image[:n]); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.mgr.Transfer(f, r.src, r.dst); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FuzzOpen throws arbitrary node images at the receiver-side DAG walker.
+// The section 3.2.4 contract under test: traversal of any byte pattern
+// must terminate (range checks, cycle detection, node-count bound) and
+// either reject the DAG with an error or yield a message whose segments
+// are internally consistent and fully readable by the receiver.
+func FuzzOpen(f *testing.F) {
+	base := func() vm.VA {
+		r := newFuzzRig()
+		fb, err := fuzzFbuf(r, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return fb.Base
+	}()
+
+	leaf := func(img []byte, off int, dataVA vm.VA, n int) {
+		encodeLeaf(img[off:off+nodeSize], dataVA, n)
+	}
+	pair := func(img []byte, off int, left, right vm.VA, total int) {
+		encodePair(img[off:off+nodeSize], left, right, total)
+	}
+
+	// Seed corpus: one representative per walker verdict.
+	empty := make([]byte, nodeSize) // all zeros decodes as the empty leaf
+	f.Add(uint32(0), empty)
+
+	valid := make([]byte, 256) // pair(leaf, pair(leaf, leaf)) chain
+	leaf(valid, 32, base+512, 64)
+	leaf(valid, 96, base+1024, 128)
+	leaf(valid, 128, base+2048, 32)
+	pair(valid, 64, base+96, base+128, 160)
+	pair(valid, 0, base+32, base+64, 224)
+	f.Add(uint32(0), valid)
+
+	cyclic := make([]byte, 64) // root points back at itself
+	pair(cyclic, 0, base, base+32, 0)
+	f.Add(uint32(0), cyclic)
+
+	wild := make([]byte, 64) // leaf data outside the fbuf region
+	leaf(wild, 0, vm.VA(0x10), 64)
+	f.Add(uint32(0), wild)
+
+	unaligned := make([]byte, 64) // child pointer not 32-byte aligned
+	pair(unaligned, 0, base+5, base+32, 0)
+	f.Add(uint32(0), unaligned)
+
+	badkind := []byte{7, 0, 0, 0}
+	f.Add(uint32(0), badkind)
+
+	hugeleaf := make([]byte, 64) // length far past any chunk
+	leaf(hugeleaf, 0, base, 1<<30)
+	f.Add(uint32(0), hugeleaf)
+
+	f.Add(uint32(5), valid)                   // unaligned root into a valid image
+	f.Add(uint32(machine.PageSize+32), empty) // root on the second page
+
+	f.Fuzz(func(t *testing.T, rootSel uint32, image []byte) {
+		r := newFuzzRig()
+		fb, err := fuzzFbuf(r, image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootVA := fb.Base + vm.VA(rootSel%uint32(fb.Size()))
+		m, err := Open(r.mgr, r.dst, rootVA)
+		if err != nil {
+			return // rejected adversarial DAG: the defended outcome
+		}
+		// Accepted: the resulting message must be internally consistent.
+		total := 0
+		for i, s := range m.Segs() {
+			if s.N < 0 {
+				t.Fatalf("seg %d has negative length %d", i, s.N)
+			}
+			total += s.N
+			if s.F != nil && s.N > 0 &&
+				(!s.F.Contains(s.VA) || !s.F.Contains(s.VA+vm.VA(s.N-1))) {
+				t.Fatalf("seg %d [%#x,+%d) escapes its fbuf", i, uint64(s.VA), s.N)
+			}
+		}
+		if total != m.Len() {
+			t.Fatalf("segment lengths sum to %d, Len() = %d", total, m.Len())
+		}
+		// Every accepted byte must be readable by the receiver — dangling
+		// references appear as absence of data, never as a fault.
+		data, err := m.ReadAll(r.dst)
+		if err != nil {
+			t.Fatalf("accepted DAG unreadable: %v", err)
+		}
+		if len(data) != m.Len() {
+			t.Fatalf("ReadAll returned %d bytes, Len() = %d", len(data), m.Len())
+		}
+		if err := r.mgr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

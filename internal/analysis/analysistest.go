@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is the analysistest-style harness: it loads importPath from the
+// GOPATH-style srcRoot, runs analyzer over it, and compares diagnostics
+// against `// want "regexp"` comments in the source. Every want must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// claimed by a want — so the corpus doubles as both positive and negative
+// cases (a line without a want asserts the analyzer stays silent there).
+func RunTest(t *testing.T, srcRoot string, analyzer *Analyzer, importPaths ...string) {
+	t.Helper()
+	loader, err := NewLoader("", srcRoot)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, importPath := range importPaths {
+		p, err := loader.Load(importPath)
+		if err != nil {
+			t.Fatalf("load %s: %v", importPath, err)
+		}
+		diags, err := RunAnalyzers(loader.Fset, p.Files, p.Pkg, p.Info, []*Analyzer{analyzer})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", analyzer.Name, importPath, err)
+		}
+		checkWants(t, loader.Fset, p, diags)
+	}
+}
+
+// wantExpectation is one `// want "re"` annotation.
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts want annotations from every comment in the package.
+func parseWants(fset *token.FileSet, p *LoadedPackage) ([]*wantExpectation, error) {
+	var wants []*wantExpectation
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+					}
+					wants = append(wants, &wantExpectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pat,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted splits `"a" "b c"` into its quoted string tokens.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, p *LoadedPackage, diags []Diagnostic) {
+	t.Helper()
+	wants, err := parseWants(fset, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDetLint(t *testing.T) {
+	RunTest(t, "testdata/src", DetLint, "detlint")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestErrFlow(t *testing.T) {
+	RunTest(t, "testdata/src", ErrFlow, "errflow")
+}

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FbufCheck enforces the fbuf protocol discipline inside each function:
+//
+//  1. No Write/TouchWrite/DMAWrite to an fbuf after it has been passed to
+//     Transfer — fbufs carry copy semantics over immutable buffers
+//     (paper section 2.1.2); a write after transfer is the originator
+//     mutating pages a receiver can already see.
+//  2. No Read/TouchRead by a receiver of a statically-volatile fbuf
+//     without a dominating Secure call or an explicit Secured()
+//     acknowledgment — volatile fbufs leave write permission with the
+//     originator, so a receiver that trusts the contents must secure
+//     them first (section 3.2.4).
+//  3. No double Free of the same fbuf by the same domain — the second
+//     free corrupts the reference count of a buffer that may already be
+//     recycled.
+//
+// The analysis is function-local and syntactic over a may-precede order:
+// an event inside a conditional is still considered to precede later
+// statements (a deliberate, documented source of conservative false
+// positives), while events in mutually-exclusive branches of one
+// if/switch are never ordered. _test.go files are skipped: tests
+// deliberately violate the protocol to probe the simulated MMU.
+var FbufCheck = &Analyzer{
+	Name: "fbufcheck",
+	Doc:  "check fbuf protocol discipline: immutability after Transfer, Secure before volatile reads, no double Free",
+	Run:  runFbufCheck,
+}
+
+// fbufEvent is one protocol-relevant operation found in a function body.
+type fbufEvent struct {
+	kind string // "transfer", "write", "read", "free", "secure", "reset", "alloc"
+	f    string // exprKey of the fbuf operand ("" when unmatchable)
+	dom  string // exprKey of the acting/receiving domain, when relevant
+	pos  token.Pos
+	path stmtPath
+	call *ast.CallExpr
+}
+
+// volatility records what a function body statically knows about an
+// options value or a path/fbuf variable.
+type volatility struct {
+	known    bool
+	volatile bool
+	// originator is the exprKey of the path's first domain, "" if unknown.
+	originator string
+}
+
+func runFbufCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for body := range functionBodies(file) {
+			checkFbufBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies yields every function body in the file — declarations and
+// literals — each analyzed as its own scope.
+func functionBodies(file *ast.File) map[*ast.BlockStmt]bool {
+	out := map[*ast.BlockStmt]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out[fn.Body] = true
+			}
+		case *ast.FuncLit:
+			if fn.Body != nil {
+				out[fn.Body] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks body without descending into nested function
+// literals (they are separate scopes).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func checkFbufBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var events []fbufEvent
+	optsVol := map[string]volatility{} // options-variable key -> volatility
+	pathVol := map[string]volatility{} // path-variable key -> volatility
+	fbufVol := map[string]volatility{} // fbuf-variable key -> volatility
+
+	add := func(kind, f, dom string, n ast.Node, call *ast.CallExpr) {
+		events = append(events, fbufEvent{
+			kind: kind, f: f, dom: dom, pos: n.Pos(),
+			path: pathTo(body, n.Pos()), call: call,
+		})
+	}
+
+	// Pass 1: volatility of options expressions and assignments, path
+	// creations, fbuf allocations, resets. Source order matters only
+	// through mayPrecede later, so a single walk suffices.
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			key := exprKey(info, lhs)
+			if key == "" {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0] // multi-value: f, err := path.Alloc()
+			}
+			if rhs == nil {
+				continue
+			}
+			if v, ok := staticVolatility(info, rhs, optsVol); ok {
+				optsVol[key] = v
+			}
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				recordCreation(info, call, key, optsVol, pathVol, fbufVol)
+			}
+			// Any assignment to a tracked fbuf variable is a reset: the
+			// variable now names a different buffer.
+			add("reset", key, "", as, nil)
+		}
+		return true
+	})
+
+	// Pass 2: protocol operations.
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case recvTypeIs(fn, "core", "Manager") && fn.Name() == "Transfer" && len(call.Args) == 3:
+			add("transfer", exprKey(info, call.Args[0]), exprKey(info, call.Args[2]), call, call)
+		case recvTypeIs(fn, "core", "Fbuf") &&
+			(fn.Name() == "Write" || fn.Name() == "TouchWrite" || fn.Name() == "DMAWrite"):
+			add("write", exprKey(info, receiverOf(call)), "", call, call)
+		case recvTypeIs(fn, "core", "Fbuf") &&
+			(fn.Name() == "Read" || fn.Name() == "TouchRead") && len(call.Args) >= 1:
+			add("read", exprKey(info, receiverOf(call)), exprKey(info, call.Args[0]), call, call)
+		case recvTypeIs(fn, "core", "Manager") && fn.Name() == "Free" && len(call.Args) == 2:
+			add("free", exprKey(info, call.Args[0]), exprKey(info, call.Args[1]), call, call)
+		case recvTypeIs(fn, "core", "Manager") && fn.Name() == "Secure" && len(call.Args) == 2:
+			add("secure", exprKey(info, call.Args[0]), exprKey(info, call.Args[1]), call, call)
+		}
+		return true
+	})
+
+	reset := func(f string, a, b *fbufEvent) bool {
+		for i := range events {
+			r := &events[i]
+			if r.kind == "reset" && r.f == f &&
+				mayPrecede(a.path, r.path) && mayPrecede(r.path, b.path) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rule 1: write after transfer.
+	for i := range events {
+		w := &events[i]
+		if w.kind != "write" || w.f == "" {
+			continue
+		}
+		for j := range events {
+			t := &events[j]
+			if t.kind != "transfer" || t.f != w.f || !mayPrecede(t.path, w.path) {
+				continue
+			}
+			if reset(w.f, t, w) {
+				continue
+			}
+			pass.Reportf(w.pos,
+				"write to fbuf after Transfer: fbufs are immutable once transferred (copy semantics); allocate a fresh fbuf instead")
+			break
+		}
+	}
+
+	// Rule 2: receiver read of a statically-volatile fbuf without Secure.
+	for i := range events {
+		r := &events[i]
+		if r.kind != "read" || r.f == "" || r.dom == "" {
+			continue
+		}
+		vol, ok := fbufVol[r.f]
+		if !ok || !vol.known || !vol.volatile || vol.originator == "" || vol.originator == r.dom {
+			continue
+		}
+		// Only interesting once the reader actually received the buffer.
+		received := false
+		for j := range events {
+			t := &events[j]
+			if t.kind == "transfer" && t.f == r.f && t.dom == r.dom &&
+				mayPrecede(t.path, r.path) && !reset(r.f, t, r) {
+				received = true
+				break
+			}
+		}
+		if !received {
+			continue
+		}
+		secured := false
+		for j := range events {
+			s := &events[j]
+			if s.kind == "secure" && s.f == r.f && mayPrecede(s.path, r.path) && !reset(r.f, s, r) {
+				secured = true
+				break
+			}
+		}
+		if !secured && !securedAcknowledged(info, body, r) {
+			pass.Reportf(r.pos,
+				"read of volatile fbuf by receiver without Secure: originator still holds write permission; call Secure or branch on Secured() before trusting the contents")
+		}
+	}
+
+	// Rule 3: double free by the same domain.
+	for i := range events {
+		a := &events[i]
+		if a.kind != "free" || a.f == "" {
+			continue
+		}
+		for j := range events {
+			b := &events[j]
+			if b == a || b.kind != "free" || b.f != a.f || b.dom != a.dom {
+				continue
+			}
+			if !mayPrecede(a.path, b.path) || reset(a.f, a, b) {
+				continue
+			}
+			pass.Reportf(b.pos,
+				"double Free of fbuf by the same domain: the reference was already dropped; the buffer may be recycled")
+			break
+		}
+	}
+}
+
+// staticVolatility resolves an options expression to a known volatility:
+// a call to a CachedVolatile/Uncached-style constructor, an Options
+// composite literal, or a previously-resolved options variable.
+func staticVolatility(info *types.Info, e ast.Expr, optsVol map[string]volatility) (volatility, bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		name := calleeName(info, x)
+		switch name {
+		case "CachedVolatile", "Uncached":
+			return volatility{known: true, volatile: true}, true
+		case "CachedNonVolatile", "UncachedNonVolatile":
+			return volatility{known: true, volatile: false}, true
+		}
+	case *ast.CompositeLit:
+		named := namedOf(info.TypeOf(x))
+		if named != nil && named.Obj().Name() == "Options" {
+			v := volatility{known: true}
+			for _, el := range x.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					return volatility{}, false // positional: don't guess
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Volatile" {
+					if lit, ok := ast.Unparen(kv.Value).(*ast.Ident); ok {
+						v.volatile = lit.Name == "true"
+						return v, true
+					}
+					return volatility{}, false
+				}
+			}
+			return v, true // Volatile omitted: zero value, non-volatile
+		}
+	case *ast.Ident:
+		if v, ok := optsVol[exprKey(info, x)]; ok {
+			return v, true
+		}
+	}
+	return volatility{}, false
+}
+
+// calleeName returns the bare called name for idents, selectors, and
+// package-level function variables (the fbufs facade re-exports the
+// options constructors as vars).
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// recordCreation tracks path and fbuf provenance through NewPath and
+// Alloc so the read rule knows, within one function, which fbufs are
+// volatile and who originated them.
+func recordCreation(info *types.Info, call *ast.CallExpr, lhsKey string,
+	optsVol, pathVol, fbufVol map[string]volatility) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case fn.Name() == "NewPath" && len(call.Args) >= 4 &&
+		(recvTypeIs(fn, "core", "Manager") || recvTypeIs(fn, "fbufs", "System")):
+		if v, ok := staticVolatility(info, call.Args[1], optsVol); ok {
+			v.originator = exprKey(info, call.Args[3])
+			pathVol[lhsKey] = v
+		}
+	case fn.Name() == "Alloc" && recvTypeIs(fn, "core", "DataPath"):
+		if recv := receiverOf(call); recv != nil {
+			if v, ok := pathVol[exprKey(info, recv)]; ok {
+				fbufVol[lhsKey] = v
+			}
+		}
+	case fn.Name() == "AllocUncached" && recvTypeIs(fn, "core", "Manager") && len(call.Args) == 3:
+		if v, ok := staticVolatility(info, call.Args[2], optsVol); ok {
+			v.originator = exprKey(info, call.Args[0])
+			fbufVol[lhsKey] = v
+		}
+	}
+}
+
+// securedAcknowledged reports whether the read event sits under or after
+// an if-condition that consults <fbuf>.Secured() — the explicit
+// "I know this buffer is volatile" acknowledgment that satisfies the
+// read rule without forcing a Secure.
+func securedAcknowledged(info *types.Info, body *ast.BlockStmt, r *fbufEvent) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		mentions := condMentions(ifs.Cond, func(e ast.Expr) bool {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "Secured" || !recvTypeIs(fn, "core", "Fbuf") {
+				return false
+			}
+			return exprKey(info, receiverOf(call)) == r.f
+		})
+		if !mentions {
+			return true
+		}
+		// Acknowledged if the read is inside the if (either branch) or
+		// after it.
+		if ifs.Pos() <= r.pos && r.pos < ifs.End() {
+			found = true
+			return false
+		}
+		if mayPrecede(pathTo(body, ifs.Pos()), r.path) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

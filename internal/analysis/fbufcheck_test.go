@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFbufCheck(t *testing.T) {
+	RunTest(t, "testdata/src", FbufCheck, "fbufcheck")
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages from source with no toolchain help: the
+// module's own packages resolve against ModuleRoot, GOPATH-style extra
+// roots serve the analysistest stub corpus, and the standard library is
+// loaded through the source importer (which needs only GOROOT/src). This
+// is what lets the suite run standalone (`fbufvet ./...`) and under
+// `go test` without golang.org/x/tools.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string // directory containing go.mod ("" to disable)
+	ModulePath string // module path from go.mod
+	ExtraRoots []string
+
+	std     types.Importer
+	loaded  map[string]*LoadedPackage
+	loading map[string]bool
+}
+
+// LoadedPackage is one parsed and type-checked package.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Pkg        *types.Package
+	Files      []*ast.File
+	Info       *types.Info
+}
+
+// NewLoader builds a loader rooted at moduleRoot (may be "" for
+// stub-corpus-only loading with extraRoots).
+func NewLoader(moduleRoot string, extraRoots ...string) (*Loader, error) {
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: moduleRoot,
+		ExtraRoots: extraRoots,
+		loaded:     map[string]*LoadedPackage{},
+		loading:    map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	if moduleRoot != "" {
+		path, err := modulePath(filepath.Join(moduleRoot, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		l.ModulePath = path
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}
+
+// dirFor maps an import path to a source directory, or "" when the path
+// must come from the standard library.
+func (l *Loader) dirFor(importPath string) string {
+	if l.ModulePath != "" {
+		if importPath == l.ModulePath {
+			return l.ModuleRoot
+		}
+		if rest, ok := strings.CutPrefix(importPath, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+		}
+	}
+	for _, root := range l.ExtraRoots {
+		dir := filepath.Join(root, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// Load parses and type-checks the package at importPath.
+func (l *Loader) Load(importPath string) (*LoadedPackage, error) {
+	if p, ok := l.loaded[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %q", importPath)
+	}
+	dir := l.dirFor(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("cannot resolve import %q (not in module or extra roots)", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", dir, err)
+	}
+	var files []*ast.File
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+
+	info := NewTypesInfo()
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	p := &LoadedPackage{ImportPath: importPath, Dir: dir, Pkg: pkg, Files: files, Info: info}
+	l.loaded[importPath] = p
+	return p, nil
+}
+
+// loaderImporter adapts Loader to types.Importer, falling back to the
+// standard-library source importer for unresolvable paths.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if l.dirFor(path) != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// ModulePackages lists the import paths of every package under the
+// module root, skipping testdata, vendor, hidden dirs, and dirs with no
+// Go files. Deterministic order.
+func (l *Loader) ModulePackages() ([]string, error) {
+	if l.ModuleRoot == "" {
+		return nil, fmt.Errorf("loader has no module root")
+	}
+	var out []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot &&
+			(name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if bp, err := build.ImportDir(path, 0); err == nil && len(bp.GoFiles) > 0 {
+			rel, err := filepath.Rel(l.ModuleRoot, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				out = append(out, l.ModulePath)
+			} else {
+				out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

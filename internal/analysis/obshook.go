@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsHook enforces the observability discipline PR 1 established for hot
+// paths: every obs.Observer hot-path call (Emit, Observe, Now) must sit
+// behind the single nil-check pattern —
+//
+//	if m.obs != nil { m.obs.Emit(...) }        // enclosing guard
+//	if o == nil { return }; o.Emit(...)        // early-exit guard
+//
+// — so that observation is free when disabled, and observer-guarded
+// blocks must charge zero simulated time (no Clock.Charge inside a guard:
+// tracing must not perturb the simulation it observes).
+//
+// Receivers that provably come from the obs.New constructor in the same
+// function are whitelisted: obs.New never returns nil.
+var ObsHook = &Analyzer{
+	Name: "obshook",
+	Doc:  "require the nil-check pattern around hot-path obs.Observer calls and forbid simulated-time charges inside observer guards",
+	Run:  runObsHook,
+}
+
+// obsHotMethods are the Observer methods that appear on per-operation hot
+// paths. Setup-time methods (SetNow, constructors) are exempt.
+var obsHotMethods = map[string]bool{
+	"Emit": true, "Observe": true, "Now": true,
+}
+
+func runObsHook(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for body := range functionBodies(file) {
+			checkObsBody(pass, body)
+		}
+	}
+	return nil
+}
+
+func checkObsBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case recvTypeIs(fn, "obs", "Observer") && obsHotMethods[fn.Name()]:
+			checkObserverCall(pass, body, call, fn)
+		case fn.Name() == "Charge" &&
+			(recvTypeIs(fn, "vm", "Sink") || recvTypeIs(fn, "vm", "ClockSink") || recvTypeIs(fn, "vm", "Meter")):
+			checkChargeInGuard(pass, body, call)
+		}
+		return true
+	})
+}
+
+func checkObserverCall(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr, fn *types.Func) {
+	info := pass.TypesInfo
+	recv := receiverOf(call)
+	key := exprKey(info, recv)
+	if key == "" {
+		// Receiver is a call result or indexing — not the standard
+		// pattern; require restructuring into a guarded local.
+		pass.Reportf(call.Pos(),
+			"obs.Observer.%s on a non-addressable receiver: bind the observer to a local and guard it with the nil-check pattern", fn.Name())
+		return
+	}
+	// Whitelist: receivers provably from obs.New are never nil.
+	if obj := identObj(info, recv); obj != nil {
+		fromNew := assignedFromCall(info, body, obj, func(f *types.Func) bool {
+			return pkgFuncIs(f, "obs", "New")
+		})
+		if fromNew {
+			return
+		}
+	}
+	if dominatedByGuard(info, body, pathTo(body, call.Pos()), key) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unguarded obs.Observer.%s on a hot path: wrap in `if %s != nil { ... }` (or early-return on nil) so disabled observation costs nothing",
+		fn.Name(), renderExpr(recv))
+}
+
+// checkChargeInGuard flags Clock.Charge calls that occur inside a block
+// guarded by an observer nil-check: observation must not charge simulated
+// time, or enabling tracing changes the measured system.
+func checkChargeInGuard(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	nodePath := pathTo(body, call.Pos())
+	for i, s := range nodePath {
+		ifs, ok := s.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inThen := i+1 < len(nodePath) && nodePath[i+1] == ast.Stmt(ifs.Body)
+		if !inThen {
+			continue
+		}
+		guardsObserver := condMentions(ifs.Cond, func(e ast.Expr) bool {
+			x, ok := isNilCompare(e, token.NEQ)
+			if !ok {
+				return false
+			}
+			t := info.TypeOf(x)
+			named := namedOf(t)
+			return named != nil && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Name() == "obs" && named.Obj().Name() == "Observer"
+		})
+		if guardsObserver {
+			pass.Reportf(call.Pos(),
+				"Clock.Charge inside an observer guard: observation must cost zero simulated time, or tracing perturbs the run it measures")
+			return
+		}
+	}
+}
+
+// renderExpr prints a selector chain for a diagnostic message.
+func renderExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderExpr(e.X) + "." + e.Sel.Name
+	}
+	return "obs"
+}

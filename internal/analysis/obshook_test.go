@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestObsHook(t *testing.T) {
+	RunTest(t, "testdata/src", ObsHook, "obshook")
+}
+
+// TestSuiteRegistry pins the analyzer set and name lookup: the CI vettool
+// and the docs both enumerate these four.
+func TestSuiteRegistry(t *testing.T) {
+	want := []string{"fbufcheck", "errflow", "detlint", "obshook"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() = %d analyzers, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %q, want %q", i, all[i].Name, name)
+		}
+		if ByName(name) != all[i] {
+			t.Errorf("ByName(%q) did not return the registered analyzer", name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}
+
+// TestModuleClean runs the full suite over the real module source — the
+// analyzer-clean property the tree must keep (same check CI's fbufvet
+// job enforces through go vet).
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages: %v", pkgs)
+	}
+	for _, importPath := range pkgs {
+		p, err := loader.Load(importPath)
+		if err != nil {
+			t.Fatalf("load %s: %v", importPath, err)
+		}
+		diags, err := RunAnalyzers(loader.Fset, p.Files, p.Pkg, p.Info, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", loader.Fset.Position(d.Pos), d.Category, d.Message)
+		}
+	}
+}

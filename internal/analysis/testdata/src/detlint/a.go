@@ -1,0 +1,54 @@
+// Package a is the detlint corpus: the simulator's determinism contract.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want "use the virtual clock"
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "use the virtual clock"
+}
+
+func globalRand() int {
+	return rand.Int() // want "global math/rand source"
+}
+
+func spawn(work func()) {
+	go work() // want "go statement in simulator code"
+}
+
+func printMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map iteration order is randomized"
+	}
+}
+
+// --- Negative cases ------------------------------------------------------
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // explicit seed: reproducible
+	return r.Int()
+}
+
+func printSortedMap(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collecting keys is fine; no output here
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // slice range: deterministic order
+	}
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return d * 2 // only wall-clock *reads* are banned
+}

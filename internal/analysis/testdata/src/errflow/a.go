@@ -1,0 +1,48 @@
+// Package a is the errflow corpus.
+package a
+
+import (
+	"fmt"
+
+	"aggregate"
+	"core"
+	"vm"
+)
+
+func implicitDiscards(mgr *core.Manager, p *core.DataPath, f *core.Fbuf, a, b *core.Domain) {
+	p.Alloc()              // want "error from DataPath.Alloc is implicitly discarded"
+	mgr.Transfer(f, a, b)  // want "error from Manager.Transfer is implicitly discarded"
+	f.Write(a, 0, nil)     // want "error from Fbuf.Write is implicitly discarded"
+	mgr.Secure(f, b)       // want "error from Manager.Secure is implicitly discarded"
+}
+
+func lostInDeferAndGo(mgr *core.Manager, f *core.Fbuf, d *core.Domain) {
+	defer mgr.Free(f, d) // want "error from Manager.Free is lost in a defer statement"
+	go f.TouchRead(d)    // want "error from Fbuf.TouchRead is lost in a go statement"
+}
+
+func aggregateAndVM(ctx *aggregate.Ctx, m *aggregate.Msg, as *vm.AddrSpace) {
+	ctx.Join(m, m)       // want "error from Ctx.Join is implicitly discarded"
+	as.Write(0, nil)     // want "error from AddrSpace.Write is implicitly discarded"
+}
+
+func handledProperly(mgr *core.Manager, p *core.DataPath, f *core.Fbuf, a, b *core.Domain) {
+	if err := mgr.Transfer(f, a, b); err != nil {
+		fmt.Println("transfer:", err)
+	}
+	buf, err := p.Alloc()
+	if err != nil {
+		fmt.Println("alloc:", err)
+	}
+	_ = buf
+}
+
+func explicitDiscard(mgr *core.Manager, f *core.Fbuf, d *core.Domain) {
+	// Visible, reviewable intent: allowed.
+	_ = mgr.Free(f, d)
+	_, _ = f.Secured(), mgr.Secure(f, d)
+}
+
+func unrelatedCalls(d *core.Domain) {
+	fmt.Println(d.Name) // non-protocol APIs are out of scope
+}

@@ -1,0 +1,74 @@
+// Package a is the obshook corpus: the hot-path nil-check discipline.
+package a
+
+import (
+	"obs"
+	"vm"
+)
+
+type engine struct {
+	obs   *obs.Observer
+	meter *vm.Meter
+}
+
+// --- Positive cases ------------------------------------------------------
+
+func (e *engine) unguardedEmit() {
+	e.obs.Emit("transfer") // want "unguarded obs.Observer.Emit"
+}
+
+func unguardedNow(o *obs.Observer) int64 {
+	return o.Now() // want "unguarded obs.Observer.Now"
+}
+
+func (e *engine) unguardedObserve(v float64) {
+	e.obs.Observe("latency", v) // want "unguarded obs.Observer.Observe"
+}
+
+func observerFactory() *obs.Observer { return nil }
+
+func nonAddressableReceiver() {
+	observerFactory().Emit("x") // want "non-addressable receiver"
+}
+
+func (e *engine) chargeInsideGuard() {
+	if e.obs != nil {
+		e.obs.Emit("transfer")
+		e.meter.Charge(5) // want "Clock.Charge inside an observer guard"
+	}
+}
+
+// --- Negative cases ------------------------------------------------------
+
+func (e *engine) guardedEmit() {
+	if e.obs != nil {
+		e.obs.Emit("transfer")
+	}
+}
+
+func guardedEarlyExit(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.Emit("transfer")
+	o.Observe("latency", 1)
+}
+
+func (e *engine) guardedConjunction(hot bool) {
+	if e.obs != nil && hot {
+		e.obs.Emit("transfer")
+	}
+}
+
+func freshObserver() {
+	o := obs.New(64) // obs.New never returns nil: whitelisted
+	o.Emit("boot")
+	o.SetNow(func() int64 { return 0 }) // setup-time method: not hot-path
+}
+
+func (e *engine) chargeOutsideGuard() {
+	e.meter.Charge(5) // charging simulated time is the norm outside guards
+	if e.obs != nil {
+		e.obs.Emit("transfer")
+	}
+}

@@ -56,6 +56,9 @@ func (f *Fbuf) TouchRead(d *domain.Domain) error {
 // caller — and no protection applies; devices are configured by the trusted
 // kernel. The target pages must be populated.
 func (f *Fbuf) DMAWrite(off int, data []byte) error {
+	if s := f.mgr.san; s != nil {
+		s.checkDMA(f, true)
+	}
 	if off < 0 || off+len(data) > f.Size() {
 		return fmt.Errorf("core: DMA write [%d,%d) outside fbuf of %d bytes", off, off+len(data), f.Size())
 	}
@@ -78,6 +81,9 @@ func (f *Fbuf) DMAWrite(off int, data []byte) error {
 
 // DMARead copies data out of the fbuf bypassing the MMU (device transmit).
 func (f *Fbuf) DMARead(off int, buf []byte) error {
+	if s := f.mgr.san; s != nil {
+		s.checkDMA(f, false)
+	}
 	if off < 0 || off+len(buf) > f.Size() {
 		return fmt.Errorf("core: DMA read [%d,%d) outside fbuf of %d bytes", off, off+len(buf), f.Size())
 	}
@@ -143,6 +149,11 @@ func (m *Manager) CheckInvariants() error {
 			if f.secured {
 				return fmt.Errorf("core: free fbuf %#x still secured", uint64(f.Base))
 			}
+		}
+	}
+	if m.san != nil {
+		if err := m.san.audit(); err != nil {
+			return err
 		}
 	}
 	return m.Sys.Mem.CheckInvariants()

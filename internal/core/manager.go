@@ -54,6 +54,10 @@ type Manager struct {
 	// the observer's tracer (netsim uses "A."/"B." per host).
 	TracePrefix string
 
+	// san is the fbsan runtime sanitizer, nil unless enabled (see
+	// sanitizer.go). Every hook is behind this single nil check.
+	san *Sanitizer
+
 	stats Stats
 }
 
@@ -200,6 +204,9 @@ func NewManagerGeometry(sys *vm.System, reg *domain.Registry, chunkPages, numChu
 	}
 	for i := numChunks - 1; i >= 0; i-- {
 		m.freeChunks = append(m.freeChunks, i)
+	}
+	if sanitizerDefault {
+		m.EnableSanitizer()
 	}
 	m.AttachDomain(reg.Kernel())
 	return m

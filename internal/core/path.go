@@ -90,8 +90,11 @@ func (p *DataPath) Originator() *domain.Domain { return p.Domains[0] }
 // quota entirely.
 func (p *DataPath) SetQuota(chunks int) { p.quota = chunks }
 
-// Quota returns the effective chunk limit (0 = unlimited): the explicit
-// per-path value when set, otherwise the manager default.
+// Quota returns the effective chunk limit: the explicit per-path value
+// when set, otherwise the manager default. A return of 0 means the quota
+// is disabled (SetQuota was given a negative value, or the resolved
+// default is non-positive). Note the asymmetry with SetQuota's input,
+// where 0 means "use the manager default" — only negative disables.
 func (p *DataPath) Quota() int {
 	q := p.quota
 	if q == 0 {
@@ -150,6 +153,9 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 			} else {
 				f = p.free[n-1]
 				p.free = p.free[:n-1]
+			}
+			if m.san != nil {
+				m.san.verifyReuse(f)
 			}
 			m.stats.CacheHits++
 			f.state = StateLive
@@ -567,6 +573,11 @@ func (m *Manager) deliver(k noticeKey) {
 func (m *Manager) recycle(f *Fbuf) {
 	m.stats.Recycles++
 	m.emit(obs.EvRecycle, f.Originator, f, 0)
+	if m.san != nil {
+		// A free-listed fbuf being torn down (ClosePath, dead originator)
+		// gets its canaries verified one last time before the frames go.
+		m.san.verifyReuse(f)
+	}
 	p := f.Path
 	if p != nil && p.opts.Cached && !p.closed && !f.Originator.Dead() {
 		if f.secured {
@@ -583,6 +594,9 @@ func (m *Manager) recycle(f *Fbuf) {
 		f.state = StateFree
 		f.refs = map[domain.ID]int{}
 		p.free = append(p.free, f) // LIFO push
+		if m.san != nil {
+			m.san.poisonFree(f)
+		}
 		if o := m.Sys.Obs; o != nil {
 			p.ensureMetrics(o)
 			p.depthGauge.Set(int64(len(p.free)))
@@ -666,6 +680,9 @@ func (m *Manager) ReclaimIdle(maxFrames int) int {
 					if d := m.domainByID(id); d != nil && !d.Dead() {
 						d.AS.Unmap(va)
 					}
+				}
+				if m.san != nil {
+					m.san.frameReclaimed(f, pg)
 				}
 				if freed := m.Sys.Mem.DecRef(f.frames[pg]); freed {
 					m.Sys.Sink().Charge(m.Sys.Cost.FrameFree)

@@ -1,0 +1,5 @@
+//go:build !fbsan
+
+package core
+
+const fbsanBuildTag = false

@@ -1,0 +1,7 @@
+//go:build fbsan
+
+package core
+
+// fbsanBuildTag enables the sanitizer for every Manager in builds made
+// with -tags fbsan (the CI fbsan job); see also the FBSAN=1 env gate.
+const fbsanBuildTag = true
