@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, ablations, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, ablations, chaos, all (chaos not in all)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark report")
 	jsonPath := flag.String("json-out", "BENCH_report.json", "path for the -json report")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
@@ -160,6 +160,12 @@ func run(w io.Writer, exp string) error {
 	if all || exp == "cpuload" {
 		ran = true
 		if err := show(bench.CPULoad()); err != nil {
+			return err
+		}
+	}
+	if exp == "chaos" { // not part of "all": paper artifacts stay fault-free
+		ran = true
+		if err := show(bench.Chaos()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"fbufs/internal/chaos"
+)
+
+// runChaos executes both seeded fault schedules — the single-host
+// allocation/crash schedule and the two-host lossy-link schedule — and
+// prints their deterministic reports. Any robustness violation (corrupted
+// payload, leaked frame, stranded fbuf, failed convergence) is returned as
+// an error, so the process exits non-zero and CI fails loudly.
+func runChaos(w io.Writer, seed int64) error {
+	local, lerr := chaos.RunLocal(seed)
+	fmt.Fprint(w, local.Report)
+	net, nerr := chaos.RunNet(seed)
+	fmt.Fprint(w, net.Report)
+	if lerr != nil {
+		return lerr
+	}
+	return nerr
+}

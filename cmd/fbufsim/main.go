@@ -55,6 +55,9 @@ type config struct {
 	metricsPath string // metrics snapshot JSON output, "" = off
 	events      bool   // print tracer events under each step
 	fbsan       bool   // enable the runtime sanitizer for the run
+
+	chaos bool  // run the seeded fault-injection schedules instead
+	seed  int64 // chaos schedule seed
 }
 
 func main() {
@@ -69,6 +72,8 @@ func main() {
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file")
 	flag.BoolVar(&cfg.events, "events", true, "print structured tracer events beneath each step")
 	flag.BoolVar(&cfg.fbsan, "fbsan", false, "enable the fbsan runtime sanitizer (canaries, DMA checks, shadow audits)")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "run the seeded fault-injection schedules (local + network) and verify convergence")
+	flag.Int64Var(&cfg.seed, "seed", 1, "fault schedule seed for -chaos")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -78,6 +83,9 @@ func main() {
 }
 
 func run(w io.Writer, cfg config) error {
+	if cfg.chaos {
+		return runChaos(w, cfg.seed)
+	}
 	opts, ok := optsFor(cfg.mode)
 	if !ok {
 		return fmt.Errorf("unknown mode %q", cfg.mode)

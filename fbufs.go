@@ -115,13 +115,16 @@ func (s *System) Observe(eventCap int) *Observer {
 }
 
 // PublishMetrics writes the host's counters (fbuf facility, VM, TLB) into
-// the observer's registry, ready for a JSON snapshot export.
+// the observer's registry, ready for a JSON snapshot export. The observer's
+// own ring statistics ride along, so an export that silently lost events to
+// wraparound says so in its metrics.
 func (s *System) PublishMetrics(o *Observer) {
 	if o == nil {
 		return
 	}
 	s.Fbufs.PublishMetrics(o.Metrics)
 	s.VM.PublishMetrics(o.Metrics)
+	o.PublishSelfMetrics()
 }
 
 // Kernel returns the trusted kernel domain.

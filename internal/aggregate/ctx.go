@@ -2,6 +2,7 @@ package aggregate
 
 import (
 	"fmt"
+	"sort"
 
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
@@ -134,8 +135,11 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 	}
 	// Take new references first (every fbuf needing extras has >=1 live
 	// reference: an input's, the preHave allocator's, or the arena's).
-	for f, n := range need {
-		for i := have[f]; i < n; i++ {
+	// Iterate in VA order: ref-count ops emit trace events and charge the
+	// simulated clock, and map order over *Fbuf keys would leak Go's map
+	// randomization into otherwise deterministic runs.
+	for _, f := range sortedFbufs(need) {
+		for i := have[f]; i < need[f]; i++ {
 			if err := c.Mgr.DupRef(f, c.Dom); err != nil {
 				return fmt.Errorf("aggregate: rebalance dupref: %w", err)
 			}
@@ -144,8 +148,8 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 	for _, in := range inputs {
 		in.consumed = true
 	}
-	for f, n := range have {
-		for i := need[f]; i < n; i++ {
+	for _, f := range sortedFbufs(have) {
+		for i := need[f]; i < have[f]; i++ {
 			if err := c.Mgr.Free(f, c.Dom); err != nil {
 				return fmt.Errorf("aggregate: rebalance free: %w", err)
 			}
@@ -153,6 +157,17 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 	}
 	c.endOp()
 	return nil
+}
+
+// sortedFbufs returns the map's keys ordered by region VA, the stable
+// identity of an fbuf within one manager.
+func sortedFbufs(m map[*core.Fbuf]int) []*core.Fbuf {
+	fs := make([]*core.Fbuf, 0, len(m))
+	for f := range m {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Base < fs[j].Base })
+	return fs
 }
 
 // NewData allocates fbufs for data, writes it, and returns the message.

@@ -46,6 +46,7 @@ var errflowMethods = []struct {
 	{"aggregate", "Msg", "Transfer"},
 	{"aggregate", "Msg", "Secure"},
 	{"aggregate", "Reader", "Next"},
+	{"xfer", "Adaptive", "Hop"},
 	{"vm", "AddrSpace", "AddRegion"},
 	{"vm", "AddrSpace", "Write"},
 	{"vm", "AddrSpace", "Read"},

@@ -7,6 +7,7 @@ import (
 	"aggregate"
 	"core"
 	"vm"
+	"xfer"
 )
 
 func implicitDiscards(mgr *core.Manager, p *core.DataPath, f *core.Fbuf, a, b *core.Domain) {
@@ -24,6 +25,13 @@ func lostInDeferAndGo(mgr *core.Manager, f *core.Fbuf, d *core.Domain) {
 func aggregateAndVM(ctx *aggregate.Ctx, m *aggregate.Msg, as *vm.AddrSpace) {
 	ctx.Join(m, m)       // want "error from Ctx.Join is implicitly discarded"
 	as.Write(0, nil)     // want "error from AddrSpace.Write is implicitly discarded"
+}
+
+func degradedPath(ad *xfer.Adaptive) {
+	// Hop degrades to the copy path on allocation failure internally; the
+	// error it *returns* is a real fault (dead domain, closed path) and
+	// ignoring it hides broken transfers.
+	ad.Hop(nil) // want "error from Adaptive.Hop is implicitly discarded"
 }
 
 func handledProperly(mgr *core.Manager, p *core.DataPath, f *core.Fbuf, a, b *core.Domain) {

@@ -1,0 +1,8 @@
+// Package xfer stubs fbufs/internal/xfer for the errflow corpus.
+package xfer
+
+// Adaptive matches the degradation-capable transfer facility: Hop returns
+// an error that signals real (non-alloc) failures and must not be dropped.
+type Adaptive struct{}
+
+func (a *Adaptive) Hop(payload []byte) error { return nil }

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+
+	"fbufs/internal/chaos"
+)
+
+// chaosSeeds is the seed matrix the chaos scenario sweeps. Kept small so
+// `fbufbench -exp chaos` stays fast; CI sweeps a wider matrix via fbufsim.
+var chaosSeeds = []int64{1, 2, 3}
+
+// Chaos runs the seeded fault-injection schedules (single-host allocation/
+// crash soup plus the two-host lossy-link run) over the seed matrix and
+// tabulates the headline robustness counters. Any violation — corrupted
+// payload, leaked frame, stranded fbuf, failed convergence, or a schedule
+// that never exercised the degraded copy path — is returned as an error so
+// the bench run fails loudly rather than printing a rosy table.
+func Chaos() (*Table, error) {
+	t := &Table{
+		Title: "Chaos: seeded fault injection with convergence checks",
+		Note: "Local: allocation faults, mapping faults, and domain crashes with\n" +
+			"fallback to the copy path and recovery. Net: lossy/partitioned links\n" +
+			"ridden out by SWP with exponential backoff. Every cell is deterministic\n" +
+			"for its seed; the run errors out on any robustness violation.",
+		Header: []string{"seed", "sends", "crashes", "fallbacks", "recoveries",
+			"delivered", "retransmits", "crc drops", "verdict"},
+	}
+	for _, seed := range chaosSeeds {
+		local, err := chaos.RunLocal(seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos local seed %d: %w", seed, err)
+		}
+		net, err := chaos.RunNet(seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos net seed %d: %w", seed, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(seed),
+			fmt.Sprint(local.Sends),
+			fmt.Sprint(local.Crashes),
+			fmt.Sprint(local.Episodes),
+			fmt.Sprint(local.Recoveries),
+			fmt.Sprint(net.Delivered),
+			fmt.Sprint(net.Retransmits),
+			fmt.Sprint(net.CRCDrops),
+			"converged",
+		})
+	}
+	return t, nil
+}

@@ -38,6 +38,7 @@ func PublishObserved() {
 	}
 	lastRig.mgr.PublishMetrics(observer.Metrics)
 	lastRig.sys.PublishMetrics(observer.Metrics)
+	observer.PublishSelfMetrics()
 }
 
 // rig is one fresh simulated host for the single-host experiments.

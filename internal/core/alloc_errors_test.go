@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/faults"
+	"fbufs/internal/machine"
+	"fbufs/internal/mem"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// The allocation-failure taxonomy (see alloc_errors.go): each of the three
+// exhaustion errors must surface from its documented site, and each must be
+// recognized by IsAllocFailure so the degraded copy path can catch it.
+
+// TestErrQuotaFromPathExhaustion drives a path past its kernel-imposed
+// chunk quota the honest way: hold enough live fbufs that the allocator
+// needs a chunk it is not allowed to have.
+func TestErrQuotaFromPathExhaustion(t *testing.T) {
+	r := newRig(t)
+	p := r.path(t, CachedVolatile(), DefaultChunkPages) // one fbuf per chunk
+	p.SetQuota(2)
+
+	var held []*Fbuf
+	for i := 0; i < 2; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d within quota: %v", i, err)
+		}
+		held = append(held, f)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrQuota) {
+		t.Fatalf("alloc past quota: got %v, want ErrQuota", err)
+	} else if !IsAllocFailure(err) {
+		t.Fatal("ErrQuota must be an alloc failure")
+	}
+	// Freeing a buffer restores the path: quota is per-chunk held, not a
+	// lifetime allocation count.
+	if err := r.mgr.Free(held[0], r.src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after free should succeed: %v", err)
+	}
+	r.check(t)
+}
+
+// TestErrQuotaFromFaultPlane: an injected PathAlloc fault is reported as
+// ErrQuota at the Alloc boundary (the kernel refused the request), and is
+// counted in the manager's AllocFailures stat.
+func TestErrQuotaFromFaultPlane(t *testing.T) {
+	r := newRig(t)
+	r.sys.FaultPlane = faults.NewPlane(7)
+	p := r.path(t, CachedVolatile(), 2)
+
+	r.sys.FaultPlane.SetRate(faults.PathAlloc, 1_000_000)
+	if _, err := p.Alloc(); !errors.Is(err, ErrQuota) {
+		t.Fatalf("got %v, want ErrQuota", err)
+	}
+	if got := r.mgr.Snapshot().AllocFailures; got != 1 {
+		t.Fatalf("AllocFailures = %d, want 1", got)
+	}
+	r.sys.FaultPlane.SetRate(faults.PathAlloc, 0)
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after fault cleared: %v", err)
+	}
+	r.check(t)
+}
+
+// TestErrRegionFullFromExhaustion shrinks the global region to two chunks
+// and consumes them with uncached fbufs; both the uncached allocator and a
+// path allocator must then report ErrRegionFull, and releasing a chunk
+// recovers both.
+func TestErrRegionFullFromExhaustion(t *testing.T) {
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 4096, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := NewManagerGeometry(sys, reg, 2, 2) // 2 chunks of 2 pages
+	src, dst := reg.New("src"), reg.New("dst")
+	mgr.AttachDomain(src)
+	mgr.AttachDomain(dst)
+
+	var held []*Fbuf
+	for i := 0; i < 2; i++ {
+		f, err := mgr.AllocUncached(src, 2, Uncached())
+		if err != nil {
+			t.Fatalf("alloc chunk %d: %v", i, err)
+		}
+		held = append(held, f)
+	}
+	if _, err := mgr.AllocUncached(src, 2, Uncached()); !errors.Is(err, ErrRegionFull) {
+		t.Fatalf("uncached past region: got %v, want ErrRegionFull", err)
+	} else if !IsAllocFailure(err) {
+		t.Fatal("ErrRegionFull must be an alloc failure")
+	}
+	// A path allocator competing for the same region sees the same error.
+	p, err := mgr.NewPath("starved", CachedVolatile(), 2, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrRegionFull) {
+		t.Fatalf("path alloc: got %v, want ErrRegionFull", err)
+	}
+	if err := mgr.Free(held[0], src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("path alloc after chunk release: %v", err)
+	}
+}
+
+// TestErrOutOfMemoryFromFramePool empties the physical frame pool via the
+// FrameAlloc fault point: VA space is granted but populate cannot back it,
+// the partial allocation is rolled back, and mem.ErrOutOfMemory surfaces
+// through DataPath.Alloc.
+func TestErrOutOfMemoryFromFramePool(t *testing.T) {
+	r := newRig(t)
+	r.sys.FaultPlane = faults.NewPlane(11)
+	p := r.path(t, CachedVolatile(), 2)
+
+	r.sys.FaultPlane.SetRate(faults.FrameAlloc, 1_000_000)
+	if _, err := p.Alloc(); !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("got %v, want mem.ErrOutOfMemory", err)
+	} else if !IsAllocFailure(err) {
+		t.Fatal("mem.ErrOutOfMemory must be an alloc failure")
+	}
+	r.sys.FaultPlane.SetRate(faults.FrameAlloc, 0)
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after drought: %v", err)
+	}
+	r.check(t)
+}
+
+// TestIsAllocFailureTaxonomy pins the classifier itself: the three
+// exhaustion errors qualify (bare or wrapped, including the lazy-refill
+// shape where mem.ErrOutOfMemory rides inside a vm.AccessError), and
+// lifecycle errors do not — copying cannot fix a dead domain.
+func TestIsAllocFailureTaxonomy(t *testing.T) {
+	yes := []error{
+		ErrQuota,
+		ErrRegionFull,
+		mem.ErrOutOfMemory,
+		fmt.Errorf("send: %w", ErrQuota),
+		&vm.AccessError{ASID: 3, VA: 0x1000, Write: true, Cause: mem.ErrOutOfMemory},
+	}
+	for _, err := range yes {
+		if !IsAllocFailure(err) {
+			t.Errorf("IsAllocFailure(%v) = false, want true", err)
+		}
+	}
+	no := []error{
+		nil,
+		ErrPathClosed,
+		ErrDeadDomain,
+		ErrNotAttached,
+		&vm.AccessError{ASID: 3, VA: 0x1000, Cause: vm.ErrNoMapping},
+		errors.New("core: unrelated"),
+	}
+	for _, err := range no {
+		if IsAllocFailure(err) {
+			t.Errorf("IsAllocFailure(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestLifecycleErrorsAreNotAllocFailures exercises the real lifecycle
+// sites: a closed path and a dead originator must produce errors that the
+// degraded copy path refuses to swallow.
+func TestLifecycleErrorsAreNotAllocFailures(t *testing.T) {
+	r := newRig(t)
+	p := r.path(t, CachedVolatile(), 2)
+	r.mgr.ClosePath(p)
+	if _, err := p.Alloc(); !errors.Is(err, ErrPathClosed) || IsAllocFailure(err) {
+		t.Fatalf("closed path: got %v (allocFailure=%v)", err, IsAllocFailure(err))
+	}
+
+	p2 := r.path(t, CachedVolatile(), 2, r.net, r.dst)
+	r.reg.Terminate(r.net)
+	if _, err := p2.Alloc(); err == nil || IsAllocFailure(err) {
+		t.Fatalf("dead originator: got %v (allocFailure=%v)", err, IsAllocFailure(err))
+	}
+}

@@ -159,6 +159,41 @@ func (m *Manager) CheckInvariants() error {
 	return m.Sys.Mem.CheckInvariants()
 }
 
+// CheckConverged is CheckInvariants plus quiescence: after a workload has
+// finished — every transfer acknowledged, every notice delivered, every
+// crashed domain's references drained — no fbuf may still be live or
+// draining, no deallocation notice may still be queued, and no uncached
+// fbuf may still be outstanding. The chaos harness calls this after each
+// fault schedule: a violation means a fault leaked a buffer (a stranded
+// reference, a notice that never travelled, a retained chunk that never
+// drained) even though all the work completed.
+func (m *Manager) CheckConverged() error {
+	if err := m.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, c := range m.chunks {
+		if c == nil {
+			continue
+		}
+		for _, f := range c.fbufs {
+			if f.state != StateFree {
+				return fmt.Errorf("core: not converged: fbuf %#x (path %v) still %s with %d refs",
+					uint64(f.Base), f.Path, f.state, f.Refs())
+			}
+		}
+	}
+	for k, list := range m.notices {
+		if len(list) > 0 {
+			return fmt.Errorf("core: not converged: %d undelivered notices held at domain %d for domain %d",
+				len(list), k.holder, k.owner)
+		}
+	}
+	if n := len(m.uncached); n > 0 {
+		return fmt.Errorf("core: not converged: %d uncached fbufs still outstanding", n)
+	}
+	return nil
+}
+
 func (m *Manager) checkFbuf(f *Fbuf) error {
 	for _, c := range f.refs {
 		if c <= 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbufs/internal/domain"
+	"fbufs/internal/faults"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
 	"fbufs/internal/obs"
@@ -90,6 +91,11 @@ type Stats struct {
 	NoticesExplicit uint64
 	FramesReclaimed uint64
 	LazyRefills     uint64
+	// AllocFailures counts Alloc/AllocUncached calls that failed for lack
+	// of a resource (quota, region, or physical memory — see
+	// IsAllocFailure). The degraded copy path in package xfer watches this
+	// backpressure signal.
+	AllocFailures uint64
 }
 
 // Check validates the cross-counter invariants; Manager.CheckInvariants
@@ -108,6 +114,11 @@ func (s Stats) Check() error {
 	if s.Recycles > s.Frees+s.Allocs {
 		return fmt.Errorf("core: stats drift: Recycles=%d > Frees=%d + Allocs=%d",
 			s.Recycles, s.Frees, s.Allocs)
+	}
+	// Every counted failure followed an attempt that bumped Allocs first.
+	if s.AllocFailures > s.Allocs {
+		return fmt.Errorf("core: stats drift: AllocFailures=%d > Allocs=%d",
+			s.AllocFailures, s.Allocs)
 	}
 	return nil
 }
@@ -137,6 +148,7 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("core.notices_explicit").Set(s.NoticesExplicit)
 	reg.Counter("core.frames_reclaimed").Set(s.FramesReclaimed)
 	reg.Counter("core.lazy_refills").Set(s.LazyRefills)
+	reg.Counter("core.alloc_failures").Set(s.AllocFailures)
 	for _, p := range m.paths {
 		reg.Gauge(p.metricPrefix() + "free_depth").Set(int64(len(p.free)))
 	}
@@ -215,6 +227,17 @@ func NewManagerGeometry(sys *vm.System, reg *domain.Registry, chunkPages, numChu
 // RegionPages returns the size of the fbuf region in pages.
 func (m *Manager) RegionPages() int { return m.chunkPages * m.numChunks }
 
+// EmptyLeafFrames reports how many physical frames the lazily allocated
+// shared empty-leaf page holds (0 or 1) — the one allocation that
+// legitimately outlives a converged workload, so frame-leak accounting
+// (the chaos harness) can exclude it from its baseline comparison.
+func (m *Manager) EmptyLeafFrames() int {
+	if m.emptyLeafFrame == mem.NoFrame {
+		return 0
+	}
+	return 1
+}
+
 // regionEnd returns the first VA past the region.
 func (m *Manager) regionEnd() vm.VA {
 	return RegionBase + vm.VA(m.RegionPages()*machine.PageSize)
@@ -259,6 +282,11 @@ func (m *Manager) Attached(d *domain.Domain) bool {
 // allocator when p is nil), charging the kernel-call cost.
 func (m *Manager) grantChunk(p *DataPath) (*chunk, error) {
 	m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
+	// An injected chunk-grant fault is indistinguishable from genuine
+	// region exhaustion: the kernel call was paid, no chunk arrives.
+	if m.Sys.FaultPlane.Should(faults.ChunkGrant) {
+		return nil, ErrRegionFull
+	}
 	if len(m.freeChunks) == 0 {
 		return nil, ErrRegionFull
 	}

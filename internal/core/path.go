@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbufs/internal/domain"
+	"fbufs/internal/faults"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
 	"fbufs/internal/obs"
@@ -137,6 +138,16 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	if p.Originator().Dead() {
 		return nil, ErrDeadDomain
 	}
+	// An injected path-alloc fault models the kernel refusing this path a
+	// buffer right now (e.g. a tightened quota or an administrative freeze)
+	// — same error, same recovery obligation on the caller. It sits at the
+	// Alloc boundary, ahead of the free list, so a drought can be injected
+	// even while previously-carved buffers are circulating.
+	if m.Sys.FaultPlane.Should(faults.PathAlloc) {
+		m.stats.AllocFailures++
+		m.emit(obs.EvAllocFailed, p.Originator(), nil, 0)
+		return nil, ErrQuota
+	}
 	o := m.Sys.Obs
 	var t0 simtime.Time
 	if o != nil {
@@ -169,6 +180,10 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	m.stats.CacheMisses++
 	f, err := p.carve()
 	if err != nil {
+		if IsAllocFailure(err) {
+			m.stats.AllocFailures++
+			m.emit(obs.EvAllocFailed, p.Originator(), nil, 0)
+		}
 		return nil, err
 	}
 	p.observeAlloc(o, f, t0, false)
@@ -288,6 +303,10 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 		var err error
 		c, err = m.grantChunk(nil)
 		if err != nil {
+			if IsAllocFailure(err) {
+				m.stats.AllocFailures++
+				m.emit(obs.EvAllocFailed, orig, nil, 0)
+			}
 			return nil, err
 		}
 	}
@@ -314,6 +333,10 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 		if err := m.populateFill(f, fill); err != nil {
 			f.refs = map[domain.ID]int{}
 			m.recycle(f)
+			if IsAllocFailure(err) {
+				m.stats.AllocFailures++
+				m.emit(obs.EvAllocFailed, orig, nil, 0)
+			}
 			return nil, err
 		}
 	}
@@ -350,7 +373,7 @@ func (m *Manager) populateFill(f *Fbuf, fill int) error {
 // allocFrame takes a frame for the fbuf (the fbuf's ownership reference),
 // clearing it per policy.
 func (m *Manager) allocFrame(f *Fbuf, skipClear bool) (mem.FrameNum, error) {
-	fn, err := m.Sys.Mem.Alloc()
+	fn, err := m.Sys.AllocFrame()
 	if err != nil {
 		return mem.NoFrame, err
 	}

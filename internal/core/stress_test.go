@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"fbufs/internal/domain"
+	"fbufs/internal/faults"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
 	"fbufs/internal/simtime"
@@ -20,7 +21,7 @@ func TestRandomOperationSoup(t *testing.T) {
 	seeds := []int64{1, 7, 42, 1993, 20260704}
 	for _, seed := range seeds {
 		t.Run("", func(t *testing.T) {
-			runSoup(t, seed, false)
+			runSoup(t, seed, false, false)
 		})
 	}
 }
@@ -29,16 +30,35 @@ func TestRandomOperationSoup(t *testing.T) {
 func TestRandomOperationSoupWithTermination(t *testing.T) {
 	for _, seed := range []int64{3, 11, 4093} {
 		t.Run("", func(t *testing.T) {
-			runSoup(t, seed, true)
+			runSoup(t, seed, true, false)
 		})
 	}
 }
 
-func runSoup(t *testing.T, seed int64, terminate bool) {
+// TestRandomOperationSoupWithFaults turns the fault plane on underneath the
+// soup: injected frame droughts, chunk-grant refusals, path-alloc refusals,
+// and mapping retries must only ever surface as the documented alloc-
+// failure errors, never corrupt facility invariants.
+func TestRandomOperationSoupWithFaults(t *testing.T) {
+	for _, seed := range []int64{5, 23, 977, 80317} {
+		t.Run("", func(t *testing.T) {
+			runSoup(t, seed, true, true)
+		})
+	}
+}
+
+func runSoup(t *testing.T, seed int64, terminate, faulted bool) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	clk := &simtime.Clock{}
 	sys := vm.NewSystem(machine.DecStation5000(), 2048, vm.ClockSink{Clock: clk})
+	if faulted {
+		sys.FaultPlane = faults.NewPlane(seed)
+		sys.FaultPlane.SetRate(faults.FrameAlloc, 30_000)
+		sys.FaultPlane.SetRate(faults.MapBuild, 40_000)
+		sys.FaultPlane.SetRate(faults.ChunkGrant, 25_000)
+		sys.FaultPlane.SetRate(faults.PathAlloc, 50_000)
+	}
 	reg := domain.NewRegistry(sys)
 	mgr := NewManager(sys, reg)
 

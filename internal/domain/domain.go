@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fbufs/internal/faults"
 	"fbufs/internal/vm"
 )
 
@@ -52,6 +53,9 @@ type Registry struct {
 	domains map[ID]*Domain
 	nextID  ID
 	kernel  *Domain
+
+	// Crashes counts fault-plane-injected terminations via CrashPoint.
+	Crashes uint64
 }
 
 // NewRegistry creates a registry with a kernel domain already present.
@@ -107,6 +111,24 @@ func (r *Registry) Live() int {
 		}
 	}
 	return n
+}
+
+// CrashPoint consults the fault plane (the host vm.System's, same plane
+// every layer shares) for an injected abnormal termination of d at an
+// operation boundary, and performs it with the full Terminate path — death
+// hooks, reference release, address-space teardown — exactly as a real
+// crash would. It reports whether the domain died. Kernel and already-dead
+// domains never crash; a nil plane makes this one pointer check.
+func (r *Registry) CrashPoint(d *Domain) bool {
+	if d.ID == KernelID || d.dead {
+		return false
+	}
+	if !r.sys.FaultPlane.Should(faults.DomainCrash) {
+		return false
+	}
+	r.Crashes++
+	r.Terminate(d)
+	return true
 }
 
 // Terminate ends a domain, normally or abnormally: death hooks run first

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"testing"
+
+	"fbufs/internal/simtime"
+)
+
+func TestNilPlaneIsDisabled(t *testing.T) {
+	var p *Plane
+	if p.Should(FrameAlloc) {
+		t.Fatal("nil plane fired")
+	}
+	if got := p.LinkVerdict(0, 0); got != Deliver {
+		t.Fatalf("nil plane verdict = %v, want Deliver", got)
+	}
+	if p.Consulted(FrameAlloc) != 0 || p.Injected(FrameAlloc) != 0 {
+		t.Fatal("nil plane has counters")
+	}
+	if p.LinkSnapshot() != nil {
+		t.Fatal("nil plane has link stats")
+	}
+	if p.Report() != "faults: disabled\n" {
+		t.Fatalf("nil plane report: %q", p.Report())
+	}
+}
+
+func TestZeroRateNeverFiresAndDrawsNothing(t *testing.T) {
+	// Two planes with the same seed: one consults a disabled point a
+	// thousand times first, the other doesn't. Their subsequent decisions
+	// on an enabled point must be identical — disabled consultations must
+	// not advance the random stream.
+	a, b := NewPlane(7), NewPlane(7)
+	for i := 0; i < 1000; i++ {
+		if a.Should(MapBuild) {
+			t.Fatal("zero-rate point fired")
+		}
+	}
+	a.SetRate(FrameAlloc, 500_000)
+	b.SetRate(FrameAlloc, 500_000)
+	for i := 0; i < 200; i++ {
+		if a.Should(FrameAlloc) != b.Should(FrameAlloc) {
+			t.Fatalf("decision %d diverged after disabled consultations", i)
+		}
+	}
+}
+
+func TestRateIsRespected(t *testing.T) {
+	p := NewPlane(42)
+	p.SetRate(PathAlloc, 250_000) // 25%
+	const n = 100_000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if p.Should(PathAlloc) {
+			fired++
+		}
+	}
+	frac := float64(fired) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("25%% rate fired %.3f of the time", frac)
+	}
+	if p.Consulted(PathAlloc) != n || p.Injected(PathAlloc) != uint64(fired) {
+		t.Fatal("counters disagree with observed behavior")
+	}
+}
+
+func TestRateClampAndAlways(t *testing.T) {
+	p := NewPlane(1)
+	p.SetRate(ChunkGrant, 2_000_000)
+	if p.Rate(ChunkGrant) != 1_000_000 {
+		t.Fatalf("rate not clamped: %d", p.Rate(ChunkGrant))
+	}
+	for i := 0; i < 100; i++ {
+		if !p.Should(ChunkGrant) {
+			t.Fatal("rate 1e6 did not fire")
+		}
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	run := func() []bool {
+		p := NewPlane(12345)
+		p.SetRate(FrameAlloc, 100_000)
+		p.SetRate(DomainCrash, 5_000)
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, p.Should(FrameAlloc), p.Should(DomainCrash))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewPlane(1), NewPlane(2)
+	a.SetRate(FrameAlloc, 500_000)
+	b.SetRate(FrameAlloc, 500_000)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Should(FrameAlloc) != b.Should(FrameAlloc) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 64-decision schedules")
+	}
+}
+
+func TestLinkVerdictPartitionDominates(t *testing.T) {
+	p := NewPlane(9)
+	lf := p.Link(0)
+	lf.DropPerMillion = 10_000
+	lf.AddPartition(simtime.MS(10), simtime.MS(20))
+
+	// Inside the window everything drops without drawing randomness.
+	for i := 0; i < 50; i++ {
+		if got := p.LinkVerdict(0, simtime.MS(10)+simtime.Time(i)); got != Drop {
+			t.Fatalf("in partition: verdict %v", got)
+		}
+	}
+	// Boundary: Until is exclusive.
+	if got := p.LinkVerdict(0, simtime.MS(20)); got == Drop && lf.partitionDrops > 50 {
+		t.Fatal("partition Until should be exclusive")
+	}
+	st := p.LinkSnapshot()
+	if len(st) != 1 || st[0].PartitionDrops != 50 {
+		t.Fatalf("partition drops = %+v", st)
+	}
+}
+
+func TestLinkVerdictRatesPartitionSpace(t *testing.T) {
+	p := NewPlane(77)
+	lf := p.Link(3)
+	lf.DropPerMillion = 100_000
+	lf.CorruptPerMillion = 100_000
+	lf.DupPerMillion = 100_000
+	lf.ReorderPerMillion = 100_000
+	counts := map[LinkAction]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[p.LinkVerdict(3, simtime.Time(i))]++
+	}
+	for _, a := range []LinkAction{Drop, Corrupt, Duplicate, Reorder} {
+		frac := float64(counts[a]) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("%v rate %.3f, want ~0.10", a, frac)
+		}
+	}
+	if frac := float64(counts[Deliver]) / n; frac < 0.55 || frac > 0.65 {
+		t.Fatalf("deliver rate %.3f, want ~0.60", frac)
+	}
+	st := p.LinkSnapshot()
+	if st[0].PDUs != n {
+		t.Fatalf("pdus = %d", st[0].PDUs)
+	}
+	var sum uint64
+	for a := LinkAction(0); a < numLinkActions; a++ {
+		sum += st[0].Actions[a]
+	}
+	if sum != n {
+		t.Fatalf("action counts sum %d != %d", sum, n)
+	}
+}
+
+func TestQuietLinkDrawsNothing(t *testing.T) {
+	// Verdicts on a link with all-zero rates must not shift point faults.
+	a, b := NewPlane(5), NewPlane(5)
+	a.Link(0) // configured but all rates zero
+	for i := 0; i < 1000; i++ {
+		if a.LinkVerdict(0, simtime.Time(i)) != Deliver {
+			t.Fatal("quiet link did not deliver")
+		}
+	}
+	a.SetRate(FrameAlloc, 500_000)
+	b.SetRate(FrameAlloc, 500_000)
+	for i := 0; i < 100; i++ {
+		if a.Should(FrameAlloc) != b.Should(FrameAlloc) {
+			t.Fatalf("quiet-link verdicts perturbed the point stream at %d", i)
+		}
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	mk := func() *Plane {
+		p := NewPlane(3)
+		p.SetRate(FrameAlloc, 10_000)
+		p.Link(1).DropPerMillion = 50_000
+		p.Link(0).ReorderPerMillion = 20_000
+		for i := 0; i < 300; i++ {
+			p.Should(FrameAlloc)
+			p.LinkVerdict(0, simtime.Time(i))
+			p.LinkVerdict(1, simtime.Time(i))
+		}
+		return p
+	}
+	if a, b := mk().Report(), mk().Report(); a != b {
+		t.Fatalf("reports differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestPointAndActionNames(t *testing.T) {
+	for pt := Point(0); pt < numPoints; pt++ {
+		if pt.String() == "" {
+			t.Fatalf("point %d unnamed", pt)
+		}
+	}
+	for a := LinkAction(0); a < numLinkActions; a++ {
+		if a.String() == "" {
+			t.Fatalf("action %d unnamed", a)
+		}
+	}
+	if Point(99).String() != "point(99)" || LinkAction(99).String() != "action(99)" {
+		t.Fatal("out-of-range String")
+	}
+}

@@ -1,9 +1,13 @@
 package netsim
 
 import (
+	"bytes"
 	"testing"
 
 	"fbufs/internal/core"
+	"fbufs/internal/faults"
+	"fbufs/internal/obs"
+	"fbufs/internal/simtime"
 )
 
 // TestDeterminism: the simulation is single-threaded and avoids wall-clock
@@ -29,6 +33,69 @@ func TestDeterminism(t *testing.T) {
 		}
 		if again != first {
 			t.Fatalf("run %d diverged: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+// TestDeterminismWithFaults: the fault plane draws from its own seeded
+// stream, so identical seeds and link-fault schedules must yield not just
+// identical Results but byte-identical trace exports — every drop,
+// corruption, duplicate, retransmission, and backoff lands at the same
+// simulated instant in the same order.
+func TestDeterminismWithFaults(t *testing.T) {
+	run := func() (Result, []byte) {
+		plane := faults.NewPlane(99)
+		ab := plane.Link(LinkAB)
+		ab.DropPerMillion = 40000
+		ab.CorruptPerMillion = 20000
+		ab.DupPerMillion = 10000
+		ab.ReorderPerMillion = 20000
+		ba := plane.Link(LinkBA)
+		ba.DropPerMillion = 25000
+		ab.AddPartition(simtime.MS(5), simtime.MS(12))
+		ba.AddPartition(simtime.MS(5), simtime.MS(12))
+
+		o := obs.New(1 << 16)
+		e, err := NewE2E(Config{
+			Opts:     cachedVolatile(),
+			PDUBytes: 16 * 1024,
+			MsgBytes: 48 * 1024,
+			Count:    10,
+			Window:   4,
+			UseSWP:   true,
+			Verify:   true,
+			Faults:   plane,
+			Obs:      o,
+			Frames:   8192,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.A.SWP.SeedJitter(12345)
+		e.B.SWP.SeedJitter(67890)
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace bytes.Buffer
+		if err := o.Tracer.WriteChromeTrace(&trace); err != nil {
+			t.Fatal(err)
+		}
+		return res, trace.Bytes()
+	}
+
+	first, firstTrace := run()
+	if first.Delivered != 10 {
+		t.Fatalf("delivered %d of 10", first.Delivered)
+	}
+	for i := 0; i < 2; i++ {
+		again, againTrace := run()
+		if again != first {
+			t.Fatalf("run %d result diverged: %+v vs %+v", i, again, first)
+		}
+		if !bytes.Equal(againTrace, firstTrace) {
+			t.Fatalf("run %d trace diverged (%d vs %d bytes)",
+				i, len(againTrace), len(firstTrace))
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fbufs/internal/aggregate"
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
+	"fbufs/internal/faults"
 	"fbufs/internal/machine"
 	"fbufs/internal/obs"
 	"fbufs/internal/osiris"
@@ -80,6 +81,10 @@ type Config struct {
 	// bus model, raising the I/O ceiling from 285 to the DMA-startup
 	// bound of 367 Mb/s (hardware ablation; see paper section 4).
 	ZeroContention bool
+	// Verify makes the sender write the deterministic test pattern into
+	// every message and the sink check each delivered payload against it
+	// (integrity under fault injection; costs the CPU data touching).
+	Verify bool
 	// UseSWP replaces the harness's implicit acknowledgement scheme with
 	// the real sliding-window protocol layer (protocols.SWP) between the
 	// test protocol and UDP: sequence numbers, cumulative acks, and
@@ -90,6 +95,12 @@ type Config struct {
 	DropEvery int
 	// Frames sizes each host's physical memory (0: 32768 frames=128MB).
 	Frames int
+	// Faults, when non-nil, is shared by both hosts (each host's
+	// vm.System.FaultPlane) and drives per-link loss/corruption/
+	// duplication/reordering/partitions in transmit: host A's outgoing
+	// link is LinkAB, host B's is LinkBA. Requires UseSWP for reliable
+	// delivery when link faults are configured.
+	Faults *faults.Plane
 	// Obs, when non-nil, is attached to both hosts: host A keeps trace
 	// base 0, host B gets base 100, so one Perfetto trace shows both
 	// machines' domains as distinct processes (prefixed "A."/"B.").
@@ -135,11 +146,22 @@ type Host struct {
 	SWP    *protocols.SWP       // reliable transport (Config.UseSWP)
 
 	peer    *Host
+	linkID  int // faults.Plane link id for this host's outgoing direction
 	txCount int
 	dropped int
 	lossRng uint64
 	cfg     Config
+
+	// ctxs are the aggregate arenas the host's protocol layers allocate
+	// from; Shutdown closes them so their held node buffers drain.
+	ctxs []*aggregate.Ctx
 }
+
+// Fault-plane link ids for the two directed links of the null modem.
+const (
+	LinkAB = 0 // host A -> host B
+	LinkBA = 1 // host B -> host A
+)
 
 // hostTimers adapts the scheduler to the SWP retransmission TimerSource:
 // a firing timer runs as a metered CPU task on its host.
@@ -170,6 +192,7 @@ func newHost(sched *simtime.Scheduler, name string, cfg Config, txVCI, rxVCI osi
 		h.cost.BusContention = 0
 	}
 	h.Sys = vm.NewSystem(h.cost, frames, &h.meter)
+	h.Sys.FaultPlane = cfg.Faults
 	h.Reg = domain.NewRegistry(h.Sys)
 	h.Mgr = core.NewManager(h.Sys, h.Reg)
 	h.Mgr.EmptyLeafInit = aggregate.EmptyLeafImage
@@ -288,8 +311,27 @@ func newHost(sched *simtime.Scheduler, name string, cfg Config, txVCI, rxVCI osi
 	xkernel.Connect(h.Env, h.UDP, h.IP)
 	xkernel.Connect(h.Env, h.IP, h.Driver)
 	h.UDP.Bind(ackPort, xkernel.Attach(h.Env, h.Ack, h.UDP.Dom()))
+	h.Test.Verify = cfg.Verify
+	h.ctxs = []*aggregate.Ctx{appCtx, ackCtx, udpCtx, ipCtx}
 	h.cfg = cfg
 	return h, nil
+}
+
+// Shutdown tears the host's protocol stack down after a run: every
+// aggregate arena and the driver's reassembly contexts release their held
+// buffer references. After Shutdown (and notice draining) a quiesced host
+// must pass Manager.CheckConverged — the chaos harness's leak check.
+func (h *Host) Shutdown() error {
+	if _, err := h.IP.FlushPartial(); err != nil {
+		return err
+	}
+	for _, c := range h.ctxs {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	h.ctxs = nil
+	return h.Driver.Close()
 }
 
 func dedupDomains(ds ...*domain.Domain) []*domain.Domain {
@@ -324,6 +366,8 @@ func (h *Host) Exec(ready simtime.Time, task func() error) error {
 // transmit models one PDU's journey: segmentation DMA on the local bus,
 // cell serialization on the link, reassembly DMA on the peer's bus
 // (overlapped cell by cell with transmission), then a receive interrupt.
+// With a fault plane attached, the link may additionally drop, corrupt,
+// duplicate, or reorder the PDU (faults.LinkVerdict).
 func (h *Host) transmit(pdu osiris.TxPDU, dmaReady simtime.Time) {
 	peer := h.peer
 	h.txCount++
@@ -341,6 +385,30 @@ func (h *Host) transmit(pdu osiris.TxPDU, dmaReady simtime.Time) {
 			return
 		}
 	}
+	verdict := h.cfg.Faults.LinkVerdict(h.linkID, dmaReady)
+	if verdict != faults.Deliver {
+		if o := h.Sys.Obs; o != nil {
+			o.Emit(obs.EvLinkFault, obs.NoActor, obs.NoTrack, 0, int64(verdict))
+		}
+	}
+	if verdict == faults.Drop {
+		// Loss or partition: transmit-side bus and link time are spent,
+		// nothing arrives. SWP sees a missing ack and backs off.
+		h.dropped++
+		h.Bus.ExecAt(dmaReady, osiris.BusTime(h.cost, len(pdu.Data)), nil)
+		return
+	}
+	data := pdu.Data
+	if verdict == faults.Corrupt {
+		// Flip a payload byte in a copy (the queued PDU may be the
+		// retransmission source upstream); the peer adapter's CRC check
+		// discards the damaged frame, so corruption degenerates to loss
+		// after full link and bus costs.
+		data = append([]byte(nil), pdu.Data...)
+		if len(data) > 0 {
+			data[len(data)/2] ^= 0xff
+		}
+	}
 	busTime := osiris.BusTime(h.cost, len(pdu.Data))
 	cellTime := h.cost.BusCellDMA + h.cost.BusContention
 	txEnd := h.Bus.ExecAt(dmaReady, busTime, nil)
@@ -350,9 +418,34 @@ func (h *Host) transmit(pdu osiris.TxPDU, dmaReady simtime.Time) {
 	// peer's bus then streams the remaining cells in.
 	firstArrival := txStart + cellTime + h.cost.LinkCell + h.cost.LinkPropagation
 	rxEnd := peer.Bus.ExecAt(firstArrival, busTime, nil)
-	h.sched.At(rxEnd, func() {
-		_ = peer.Exec(rxEnd, func() error {
-			return peer.Driver.Receive(pdu.VCI, pdu.Data)
+	deliverAt := rxEnd
+	if verdict == faults.Reorder {
+		// The cells landed, but the completion interrupt is deferred past
+		// a couple of subsequent PDU times, so later PDUs overtake this
+		// one at the transport. The delay is a pure function of PDU size,
+		// keeping the schedule seed-deterministic.
+		deliverAt += 2*busTime + simtime.MS(1)
+	}
+	h.deliverPDU(pdu.VCI, data, pdu.CRC, deliverAt)
+	if verdict == faults.Duplicate {
+		// The second copy occupies the peer bus again and arrives just
+		// behind the first; SWP's duplicate suppression absorbs it.
+		rxEnd2 := peer.Bus.ExecAt(rxEnd, busTime, nil)
+		h.deliverPDU(pdu.VCI, pdu.Data, pdu.CRC, rxEnd2)
+	}
+}
+
+// deliverPDU schedules the receive interrupt on the peer. Fault-plane runs
+// route through the adapter's CRC check so corrupted frames are discarded;
+// plain runs keep the historical CRC-oblivious path byte-for-byte.
+func (h *Host) deliverPDU(v osiris.VCI, data []byte, crc uint32, at simtime.Time) {
+	peer := h.peer
+	h.sched.At(at, func() {
+		_ = peer.Exec(at, func() error {
+			if h.cfg.Faults != nil {
+				return peer.Driver.ReceiveChecked(v, data, crc)
+			}
+			return peer.Driver.Receive(v, data)
 		})
 	})
 }
@@ -389,6 +482,7 @@ func NewE2E(cfg Config) (*E2E, error) {
 		return nil, err
 	}
 	a.peer, b.peer = b, a
+	a.linkID, b.linkID = LinkAB, LinkBA
 	e := &E2E{Sched: sched, Cfg: cfg, A: a, B: b, window: cfg.Window}
 
 	// Receiver: consume the message, record delivery, return an ack (the
@@ -426,7 +520,13 @@ func (e *E2E) pump() {
 	for e.window > 0 && e.sent < e.Cfg.Count {
 		e.window--
 		e.sent++
-		if err := e.A.Test.SendUntouched(e.Cfg.MsgBytes); err != nil && e.err == nil {
+		var err error
+		if e.Cfg.Verify {
+			err = e.A.Test.Send(uint64(e.sent-1), e.Cfg.MsgBytes)
+		} else {
+			err = e.A.Test.SendUntouched(e.Cfg.MsgBytes)
+		}
+		if err != nil && e.err == nil {
 			e.err = err
 			return
 		}

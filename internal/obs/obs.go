@@ -44,6 +44,12 @@ const (
 	EvPktRecv
 	EvDMAStart
 	EvDMADone
+	EvAllocFailed
+	EvCopyFallback
+	EvCopyRecover
+	EvLinkFault
+	EvCRCDrop
+	EvDomainCrash
 
 	numEventKinds
 )
@@ -69,6 +75,12 @@ var eventNames = [numEventKinds]string{
 	EvPktRecv:        "PktRecv",
 	EvDMAStart:       "DMAStart",
 	EvDMADone:        "DMADone",
+	EvAllocFailed:    "AllocFailed",
+	EvCopyFallback:   "CopyFallback",
+	EvCopyRecover:    "CopyRecover",
+	EvLinkFault:      "LinkFault",
+	EvCRCDrop:        "CRCDrop",
+	EvDomainCrash:    "DomainCrash",
 }
 
 func (k EventKind) String() string {
@@ -293,6 +305,20 @@ func (o *Observer) Emit(kind EventKind, domain, path int, gen uint64, arg int64)
 		return
 	}
 	o.Tracer.Emit(kind, domain, path, gen, arg)
+}
+
+// PublishSelfMetrics writes the tracer's own ring statistics into the
+// observer's registry: events ever emitted, events lost to ring wraparound,
+// and events currently held. Exporters call this before snapshotting so
+// trace truncation under load (e.g. the chaos harness) is visible in the
+// metrics JSON rather than only via Tracer.Dropped in tests. Safe on nil.
+func (o *Observer) PublishSelfMetrics() {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter("obs.events_total").Set(o.Tracer.Total())
+	o.Metrics.Counter("obs.events_dropped").Set(o.Tracer.Dropped())
+	o.Metrics.Gauge("obs.events_held").Set(int64(o.Tracer.Count()))
 }
 
 // Observe records a histogram sample by name. Hot paths should cache the

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"fbufs/internal/simtime"
@@ -270,4 +271,37 @@ func TestNilSafety(t *testing.T) {
 	if r.Counter("c").Value() != 0 {
 		t.Fatal("nil registry not inert")
 	}
+}
+
+// TestPublishSelfMetrics: after wrapping a small ring, the dropped-event
+// count must surface in the metrics registry and its JSON snapshot — the
+// only signal that an exported trace is truncated.
+func TestPublishSelfMetrics(t *testing.T) {
+	o := New(4)
+	for i := 0; i < 10; i++ {
+		o.Emit(EvAlloc, 1, 1, 0, int64(i))
+	}
+	o.PublishSelfMetrics()
+	s := o.Metrics.Snapshot()
+	if got := s.Counters["obs.events_total"]; got != 10 {
+		t.Errorf("obs.events_total = %d, want 10", got)
+	}
+	if got := s.Counters["obs.events_dropped"]; got != 6 {
+		t.Errorf("obs.events_dropped = %d, want 6", got)
+	}
+	if got := s.Gauges["obs.events_held"]; got != 4 {
+		t.Errorf("obs.events_held = %d, want 4", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"obs.events_dropped": 6`) {
+		t.Errorf("snapshot JSON missing dropped count:\n%s", buf.String())
+	}
+	// Publishing on an observer with no metrics registry (or nil) is a
+	// no-op, matching every other Observer method.
+	(&Observer{Tracer: NewTracer(4)}).PublishSelfMetrics()
+	var nilObs *Observer
+	nilObs.PublishSelfMetrics()
 }

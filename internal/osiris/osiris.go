@@ -19,6 +19,7 @@ package osiris
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"fbufs/internal/aggregate"
 	"fbufs/internal/core"
@@ -44,6 +45,11 @@ type TxPDU struct {
 	VCI       VCI
 	Data      []byte
 	CPUOffset simtime.Duration
+	// CRC is the AAL5-trailer-style checksum the adapter computes over the
+	// wire bytes during transmit DMA; the receiving adapter recomputes it
+	// (ReceiveChecked) and discards corrupted PDUs. Computed in hardware,
+	// so no CPU cost is charged.
+	CRC uint32
 }
 
 // Driver is the Osiris device driver: the bottom layer of the protocol
@@ -79,6 +85,9 @@ type Driver struct {
 	RxCachedAllocs   uint64
 	RxUncachedAllocs uint64
 	VCIEvictions     uint64
+	// CRCDrops counts PDUs the adapter discarded on a ReceiveChecked CRC
+	// mismatch (corruption on the link).
+	CRCDrops uint64
 }
 
 type vciEntry struct {
@@ -122,7 +131,7 @@ func (d *Driver) Push(m *aggregate.Msg) error {
 		}
 		data = append(data, chunk...)
 	}
-	d.txq = append(d.txq, TxPDU{VCI: d.TxVCI, Data: data, CPUOffset: d.CPUOffset()})
+	d.txq = append(d.txq, TxPDU{VCI: d.TxVCI, Data: data, CPUOffset: d.CPUOffset(), CRC: crc32.ChecksumIEEE(data)})
 	d.TxPDUs++
 	if o := d.env.Sys.Obs; o != nil {
 		o.Emit(obs.EvDMAStart, int(d.Dom().ID)+d.env.Sys.TraceBase, obs.NoTrack, 0, int64(len(data)))
@@ -187,6 +196,25 @@ func (d *Driver) touchVCI(v VCI) {
 // CachedVCIs returns the number of installed cached circuits.
 func (d *Driver) CachedVCIs() int { return len(d.lru) }
 
+// ReceiveChecked is Receive behind the adapter's CRC check: the board
+// recomputes the AAL5-style checksum over the reassembled PDU and, on a
+// mismatch, discards it without involving the protocol stack — only the
+// interrupt is charged. Transports above (SWP) see the corruption as loss
+// and retransmit. Callers that model a link able to corrupt bytes (netsim
+// with a fault plane) must come through here; Receive itself stays
+// CRC-oblivious for callers whose links cannot corrupt.
+func (d *Driver) ReceiveChecked(v VCI, data []byte, crc uint32) error {
+	if crc32.ChecksumIEEE(data) != crc {
+		d.env.Sys.Sink().Charge(d.env.Sys.Cost.InterruptCost)
+		d.CRCDrops++
+		if o := d.env.Sys.Obs; o != nil {
+			o.Emit(obs.EvCRCDrop, int(d.Dom().ID)+d.env.Sys.TraceBase, obs.NoTrack, 0, int64(len(data)))
+		}
+		return nil
+	}
+	return d.Receive(v, data)
+}
+
 // Receive accepts a fully reassembled wire PDU from the board (the DMA
 // into main memory has already been costed on the bus by netsim; here the
 // driver charges interrupt and processing time, places the data in an fbuf
@@ -248,6 +276,29 @@ func (d *Driver) Receive(v VCI, data []byte) error {
 		}
 	}
 	return d.DeliverAbove(m)
+}
+
+// Close shuts the driver down: every cached circuit's reassembly context
+// and data path is torn down (LRU order, oldest first, so teardown is
+// deterministic), as is the uncached context. Used by host shutdown before
+// convergence checking.
+func (d *Driver) Close() error {
+	for _, v := range d.lru {
+		e := d.vcis[v]
+		delete(d.vcis, v)
+		if err := e.ctx.Close(); err != nil {
+			return err
+		}
+		d.env.Mgr.ClosePath(e.path)
+	}
+	d.lru = nil
+	if d.uctx != nil {
+		if err := d.uctx.Close(); err != nil {
+			return err
+		}
+		d.uctx = nil
+	}
+	return nil
 }
 
 // CellCount returns the number of ATM cells a PDU occupies.

@@ -3,6 +3,7 @@ package protocols
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"fbufs/internal/aggregate"
 	"fbufs/internal/xkernel"
@@ -171,6 +172,36 @@ func (ip *IP) Deliver(m *aggregate.Msg) error {
 	}
 	ip.Reassembled++
 	return ip.DeliverAbove(whole)
+}
+
+// FlushPartial discards every incomplete reassembly — the stale state left
+// behind when a fragment's siblings were lost on the link and the transport
+// retransmitted the whole datagram under a fresh IP id — freeing the held
+// fragment buffers. Real stacks bound this state with a reassembly timer;
+// the simulation flushes at teardown and counts the discards in Dropped.
+// It returns the number of datagrams discarded.
+func (ip *IP) FlushPartial() (int, error) {
+	ids := make([]uint32, 0, len(ip.partial))
+	for id := range ip.partial {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := ip.partial[id]
+		offs := make([]int, 0, len(r.segments))
+		for off := range r.segments {
+			offs = append(offs, off)
+		}
+		sort.Ints(offs)
+		for _, off := range offs {
+			if err := r.segments[off].Free(ip.Dom()); err != nil {
+				return 0, err
+			}
+		}
+		delete(ip.partial, id)
+		ip.Dropped++
+	}
+	return len(ids), nil
 }
 
 func (ip *IP) joinInOrder(r *reassembly) (*aggregate.Msg, error) {

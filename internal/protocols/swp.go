@@ -45,8 +45,13 @@ type SWP struct {
 
 	// Window is the maximum number of unacknowledged messages.
 	Window int
-	// RTO is the retransmission timeout.
+	// RTO is the initial retransmission timeout. Each unacknowledged
+	// retransmission of a message doubles its timeout (plus deterministic
+	// seeded jitter) up to RTOMax; an acknowledgement resets the next
+	// message to RTO.
 	RTO simtime.Duration
+	// RTOMax caps the per-message backoff; 0 means 64×RTO.
+	RTOMax simtime.Duration
 	// MaxRetries bounds retransmissions per message before the
 	// connection errors out.
 	MaxRetries int
@@ -63,8 +68,13 @@ type SWP struct {
 	// OOLimit bounds the out-of-order buffer.
 	OOLimit int
 
-	// Stats.
-	Sent, Delivered, Retransmits, DupsDropped, AcksSent, AcksReceived uint64
+	// jitter is the private splitmix64 state for backoff jitter; seeded
+	// by NewSWP (SeedJitter overrides) so runs are deterministic.
+	jitter uint64
+
+	// Stats. Backoffs counts timeout events that grew a message's RTO
+	// (i.e. every retransmission armed with a longer timer).
+	Sent, Delivered, Retransmits, DupsDropped, AcksSent, AcksReceived, Backoffs uint64
 
 	// Err records a terminal failure (retry exhaustion).
 	Err error
@@ -73,7 +83,8 @@ type SWP struct {
 type inflightEntry struct {
 	msg     *aggregate.Msg // retransmission clone
 	retries int
-	gen     uint64 // invalidates stale timers after ack/retransmit
+	gen     uint64           // invalidates stale timers after ack/retransmit
+	rto     simtime.Duration // current timeout, doubled on each retransmit
 }
 
 // NewSWP builds the layer; ctx supplies header buffers and retransmission
@@ -90,7 +101,34 @@ func NewSWP(env *xkernel.Env, ctx *aggregate.Ctx, timers TimerSource) *SWP {
 		inflight:   make(map[uint64]*inflightEntry),
 		ooBuf:      make(map[uint64]*aggregate.Msg),
 		OOLimit:    64,
+		jitter:     0x5bd1e995,
 	}
+}
+
+// SeedJitter reseeds the deterministic backoff-jitter stream (two SWPs with
+// the same seed and event sequence produce identical timers).
+func (s *SWP) SeedJitter(seed uint64) { s.jitter = seed ^ 0x9e3779b97f4a7c15 }
+
+// effectiveRTOMax resolves the backoff cap.
+func (s *SWP) effectiveRTOMax() simtime.Duration {
+	if s.RTOMax > 0 {
+		return s.RTOMax
+	}
+	return 64 * s.RTO
+}
+
+// nextJitter draws a deterministic jitter in [0, max) from the private
+// splitmix64 stream; max <= 0 yields 0.
+func (s *SWP) nextJitter(max simtime.Duration) simtime.Duration {
+	if max <= 0 {
+		return 0
+	}
+	s.jitter += 0x9e3779b97f4a7c15
+	z := s.jitter
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return simtime.Duration(z % uint64(max))
 }
 
 func (s *SWP) header(kind byte, seq uint64) []byte {
@@ -119,7 +157,7 @@ func (s *SWP) sendData(m *aggregate.Msg) error {
 	if err != nil {
 		return err
 	}
-	e := &inflightEntry{msg: clone}
+	e := &inflightEntry{msg: clone, rto: s.RTO}
 	s.inflight[seq] = e
 	s.Sent++
 	out, err := s.ctx.Push(m, s.header(swpData, seq))
@@ -129,18 +167,30 @@ func (s *SWP) sendData(m *aggregate.Msg) error {
 	if err := s.PushBelow(out); err != nil {
 		return err
 	}
-	s.armTimer(seq, e.gen)
+	s.armTimer(seq, e, false)
 	return nil
 }
 
-func (s *SWP) armTimer(seq uint64, gen uint64) {
+// armTimer arms the entry's current per-message timeout, adding up to
+// rto/8 of deterministic seeded jitter on retransmission arms. The timer
+// closes over the generation so an ack or a later retransmission
+// invalidates it.
+func (s *SWP) armTimer(seq uint64, e *inflightEntry, jittered bool) {
 	if s.timers == nil {
 		return
 	}
-	s.timers.After(s.RTO, func() { s.timeout(seq, gen) })
+	d := e.rto
+	if jittered {
+		d += s.nextJitter(e.rto / 8)
+	}
+	gen := e.gen
+	s.timers.After(d, func() { s.timeout(seq, gen) })
 }
 
-// timeout retransmits an unacknowledged message.
+// timeout retransmits an unacknowledged message with exponential backoff:
+// the message's timeout doubles (capped at RTOMax) plus up to rto/8 of
+// deterministic seeded jitter, so repeated losses — or a timed partition —
+// spread retransmissions out instead of hammering a congested or dead link.
 func (s *SWP) timeout(seq uint64, gen uint64) {
 	e, ok := s.inflight[seq]
 	if !ok || e.gen != gen || s.Err != nil {
@@ -153,6 +203,13 @@ func (s *SWP) timeout(seq uint64, gen uint64) {
 	}
 	e.gen++
 	s.Retransmits++
+	if max := s.effectiveRTOMax(); e.rto < max {
+		e.rto *= 2
+		if e.rto > max {
+			e.rto = max
+		}
+		s.Backoffs++
+	}
 	resend, err := e.msg.Clone(s.Dom())
 	if err != nil {
 		s.Err = err
@@ -167,7 +224,7 @@ func (s *SWP) timeout(seq uint64, gen uint64) {
 		s.Err = err
 		return
 	}
-	s.armTimer(seq, e.gen)
+	s.armTimer(seq, e, true)
 }
 
 // Deliver handles an arriving PDU from the peer: data (buffer, order,

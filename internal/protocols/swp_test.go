@@ -235,9 +235,11 @@ func TestSWPRecoversFromLoss(t *testing.T) {
 	for i := 0; i < msgs; i++ {
 		s.send(t, ctx, pattern(500+i*11))
 	}
-	// Crank retransmission timers until everything lands (bounded).
+	// Crank retransmission timers until everything lands (bounded). The
+	// horizon covers the exponential backoff: a backed-off timer can sit
+	// many RTOs out, and crank only advances the clock when a timer fires.
 	for round := 0; round < 200 && len(got) < msgs; round++ {
-		s.timers.crank(s.a.RTO * 2)
+		s.timers.crank(s.a.RTO * 64)
 		if s.a.Err != nil {
 			t.Fatal(s.a.Err)
 		}
@@ -256,7 +258,7 @@ func TestSWPRecoversFromLoss(t *testing.T) {
 	}
 	// Keep cranking so straggler acks land and clones free.
 	for round := 0; round < 200 && s.a.InflightCount() > 0; round++ {
-		s.timers.crank(s.a.RTO * 2)
+		s.timers.crank(s.a.RTO * 64)
 	}
 	if s.a.InflightCount() != 0 {
 		t.Fatalf("%d clones never freed", s.a.InflightCount())
@@ -310,7 +312,7 @@ func TestSWPWindowBackpressure(t *testing.T) {
 	var got int
 	s.b.SetAbove(captureLayer(s.r, func([]byte) { got++ }))
 	for round := 0; round < 100 && got < 10; round++ {
-		s.timers.crank(s.a.RTO * 2)
+		s.timers.crank(s.a.RTO * 64)
 		if s.a.Err != nil {
 			t.Fatal(s.a.Err)
 		}
@@ -326,7 +328,7 @@ func TestSWPRetryExhaustion(t *testing.T) {
 	ctx := s.a.ctx
 	s.send(t, ctx, pattern(64))
 	for round := 0; round < 20 && s.a.Err == nil; round++ {
-		s.timers.crank(s.a.RTO * 2)
+		s.timers.crank(s.a.RTO * 64)
 	}
 	if s.a.Err == nil {
 		t.Fatal("no error after exhausting retries on a dead link")
@@ -371,4 +373,112 @@ func TestManualTimerOrdering(t *testing.T) {
 	if clk.Now() != 30 {
 		t.Fatalf("clock %v", clk.Now())
 	}
+}
+
+func TestSWPNoRetransmitsLossless(t *testing.T) {
+	// A lossless link must never fire a retransmission timer, so the
+	// backoff machinery stays completely cold: no retransmits, no
+	// backoffs, and no per-message RTO ever grows.
+	s := newSWPRig(t, 0, false)
+	var got int
+	s.b.SetAbove(captureLayer(s.r, func([]byte) { got++ }))
+	ctx := s.a.ctx
+	const msgs = 16
+	for i := 0; i < msgs; i++ {
+		s.send(t, ctx, pattern(200+i*13))
+	}
+	s.timers.crank(s.a.RTO / 2) // nothing should be due
+	if got != msgs {
+		t.Fatalf("delivered %d of %d", got, msgs)
+	}
+	if s.a.Retransmits != 0 {
+		t.Fatalf("retransmits on lossless link: %d", s.a.Retransmits)
+	}
+	if s.a.Backoffs != 0 {
+		t.Fatalf("backoffs on lossless link: %d", s.a.Backoffs)
+	}
+}
+
+func TestSWPBackoffGrowsAndCaps(t *testing.T) {
+	// On a dead link each timeout doubles the message's RTO (plus jitter
+	// < rto/8) up to RTOMax; the gaps between successive retransmissions
+	// must be strictly increasing until the cap, then stop growing.
+	s := newSWPRig(t, 1, false) // total loss
+	s.a.MaxRetries = 10
+	s.a.RTOMax = s.a.RTO * 8
+	var fireTimes []simtime.Time
+	base := &pipe{Base: s.pa.Base, peer: s.b, dropEvery: 1}
+	s.a.SetBelow(recordingPipe{base, s.r.clk, &fireTimes})
+	ctx := s.a.ctx
+	s.send(t, ctx, pattern(64))
+	for round := 0; round < 40 && s.a.Err == nil; round++ {
+		s.timers.crank(s.a.RTO * 64)
+	}
+	if s.a.Err == nil {
+		t.Fatal("dead link never exhausted retries")
+	}
+	if s.a.Backoffs == 0 {
+		t.Fatal("no backoffs recorded")
+	}
+	// fireTimes[0] is the original send (time 0 on the manual clock); the
+	// rest are retransmissions.
+	if len(fireTimes) < 5 {
+		t.Fatalf("only %d transmissions", len(fireTimes))
+	}
+	var gaps []simtime.Duration
+	for i := 1; i < len(fireTimes); i++ {
+		gaps = append(gaps, simtime.Duration(fireTimes[i]-fireTimes[i-1]))
+	}
+	capGap := s.a.RTOMax + s.a.RTOMax/8
+	for i, g := range gaps {
+		if g > capGap {
+			t.Fatalf("gap %d = %v exceeds cap+jitter %v", i, g, capGap)
+		}
+		if i > 0 && i < 3 && g <= gaps[i-1] {
+			t.Fatalf("gap %d = %v did not grow over %v", i, g, gaps[i-1])
+		}
+	}
+	// The last gaps sit at the cap (within jitter).
+	last := gaps[len(gaps)-1]
+	if last < s.a.RTOMax {
+		t.Fatalf("final gap %v below RTOMax %v", last, s.a.RTOMax)
+	}
+}
+
+func TestSWPBackoffDeterministic(t *testing.T) {
+	run := func() []simtime.Time {
+		s := newSWPRig(t, 1, false)
+		s.a.MaxRetries = 6
+		s.a.SeedJitter(99)
+		var fireTimes []simtime.Time
+		base := &pipe{Base: s.pa.Base, peer: s.b, dropEvery: 1}
+		s.a.SetBelow(recordingPipe{base, s.r.clk, &fireTimes})
+		ctx := s.a.ctx
+		s.send(t, ctx, pattern(64))
+		for round := 0; round < 40 && s.a.Err == nil; round++ {
+			s.timers.crank(s.a.RTO * 64)
+		}
+		return fireTimes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs transmitted %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transmission %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// recordingPipe wraps a pipe, stamping each push with the simulated time.
+type recordingPipe struct {
+	*pipe
+	clk   *simtime.Clock
+	times *[]simtime.Time
+}
+
+func (r recordingPipe) Push(m *aggregate.Msg) error {
+	*r.times = append(*r.times, r.clk.Now())
+	return r.pipe.Push(m)
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fbufs/internal/faults"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
 	"fbufs/internal/obs"
@@ -97,7 +98,7 @@ type AccessError struct {
 	ASID  int
 	VA    VA
 	Write bool
-	Cause string
+	Cause error
 }
 
 func (e *AccessError) Error() string {
@@ -107,6 +108,12 @@ func (e *AccessError) Error() string {
 	}
 	return fmt.Sprintf("vm: access violation: %s of %#x in asid %d: %s", op, uint64(e.VA), e.ASID, e.Cause)
 }
+
+// Unwrap exposes the fault's underlying cause so callers can classify it
+// with errors.Is — in particular an exhausted frame pool during lazy
+// refill surfaces as mem.ErrOutOfMemory and adaptive callers degrade to
+// the copy path instead of treating it as a protection violation.
+func (e *AccessError) Unwrap() error { return e.Cause }
 
 // ErrNoMapping is wrapped into AccessError causes.
 var ErrNoMapping = errors.New("no mapping")
@@ -158,12 +165,21 @@ type System struct {
 	// actors (netsim gives host B base 100).
 	TraceBase int
 
+	// FaultPlane, when non-nil, injects synthetic resource failures
+	// (frame-pool exhaustion via AllocFrame, transient mapping-build
+	// retries in Map/MapOwned). nil disables injection with a single
+	// pointer check per hook, same discipline as Obs.
+	FaultPlane *faults.Plane
+
 	sink     CostSink
 	nextASID int
 
 	// Stats
 	Faults     uint64
 	Violations uint64
+	// MapRetries counts injected transient mapping-build failures that
+	// were resolved by retrying the PTE install (extra PTEMap charged).
+	MapRetries uint64
 }
 
 // NewSystem creates a VM system with the given frame pool size.
@@ -185,6 +201,7 @@ func (s *System) PublishMetrics(reg *obs.Registry) {
 	}
 	reg.Counter("vm.faults").Set(s.Faults)
 	reg.Counter("vm.violations").Set(s.Violations)
+	reg.Counter("vm.map_retries").Set(s.MapRetries)
 	hits, misses := s.TLB.Stats()
 	reg.Counter("tlb.hits").Set(hits)
 	reg.Counter("tlb.misses").Set(misses)
@@ -201,6 +218,19 @@ func (s *System) charge(d simtime.Duration) {
 	if s.sink != nil {
 		s.sink.Charge(d)
 	}
+}
+
+// AllocFrame allocates a physical frame, consulting the fault plane first:
+// an injected faults.FrameAlloc failure returns mem.ErrOutOfMemory without
+// touching the pool, simulating exhaustion the caller must degrade around.
+// All allocation paths that a simulated program can drive (lazy fbuf
+// refill, fbuf populate, COW resolution) go through here; setup-time
+// allocations that model pre-established state call Mem.Alloc directly.
+func (s *System) AllocFrame() (mem.FrameNum, error) {
+	if s.FaultPlane.Should(faults.FrameAlloc) {
+		return mem.NoFrame, mem.ErrOutOfMemory
+	}
+	return s.Mem.Alloc()
 }
 
 // AddrSpace is one protection domain's address space: a region list over a
@@ -317,6 +347,7 @@ func (as *AddrSpace) FreeVA(va VA, npages int) {
 // no TLB shootdown.
 func (as *AddrSpace) Map(va VA, frame mem.FrameNum, prot Prot) {
 	as.Sys.charge(as.Sys.Cost.PTEMap)
+	as.mapRetry()
 	vpn := va.VPN()
 	if old, ok := as.pt[vpn]; ok {
 		// Replacing a mapping: release the old frame.
@@ -331,12 +362,25 @@ func (as *AddrSpace) Map(va VA, frame mem.FrameNum, prot Prot) {
 // carries its initial reference); no additional reference is taken.
 func (as *AddrSpace) MapOwned(va VA, frame mem.FrameNum, prot Prot) {
 	as.Sys.charge(as.Sys.Cost.PTEMap)
+	as.mapRetry()
 	vpn := va.VPN()
 	if old, ok := as.pt[vpn]; ok {
 		as.Sys.Mem.DecRef(old.Frame)
 		as.Sys.TLB.Invalidate(as.ASID, vpn)
 	}
 	as.pt[vpn] = PTE{Frame: frame, Prot: prot}
+}
+
+// mapRetry consults the fault plane for a transient mapping-construction
+// failure: the kernel loses a race on its VM locks and reinstalls the PTE,
+// so the only observable effect is one extra PTEMap charge and a counter.
+// Mapping faults are always recoverable by retry — they never surface as
+// errors — which is what makes Map's void signature safe to keep.
+func (as *AddrSpace) mapRetry() {
+	if as.Sys.FaultPlane.Should(faults.MapBuild) {
+		as.Sys.MapRetries++
+		as.Sys.charge(as.Sys.Cost.PTEMap)
+	}
 }
 
 // Unmap removes the mapping for the page containing va, dropping the frame
@@ -464,14 +508,14 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 					continue
 				} else {
 					sys.Violations++
-					return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: err.Error()}
+					return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: err}
 				}
 			}
 		}
 		sys.Violations++
-		cause := ErrNoMapping.Error()
+		cause := ErrNoMapping
 		if ok {
-			cause = fmt.Sprintf("protection %v denies access", pte.Prot)
+			cause = fmt.Errorf("protection %v denies access", pte.Prot)
 		}
 		return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: cause}
 	}
@@ -484,7 +528,7 @@ func (as *AddrSpace) resolveCOW(va VA, pte PTE) error {
 	sys := as.Sys
 	f := sys.Mem.Frame(pte.Frame)
 	if f.RefCount > 1 {
-		nfn, err := sys.Mem.Alloc()
+		nfn, err := sys.AllocFrame()
 		if err != nil {
 			return err
 		}

@@ -303,7 +303,7 @@ func TestRegionHandlerDeniesWrite(t *testing.T) {
 	as.AddRegion(r)
 	err := as.Write(0x100000, []byte{1})
 	var ae *AccessError
-	if !errors.As(err, &ae) || !strings.Contains(ae.Cause, "denied by policy") {
+	if !errors.As(err, &ae) || !strings.Contains(ae.Cause.Error(), "denied by policy") {
 		t.Fatalf("got %v", err)
 	}
 }

@@ -1,0 +1,161 @@
+package xfer
+
+import (
+	"bytes"
+	"testing"
+
+	"fbufs/internal/core"
+	"fbufs/internal/faults"
+	"fbufs/internal/machine"
+	"fbufs/internal/obs"
+)
+
+func pattern(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*7 + seed
+	}
+	return p
+}
+
+// TestAdaptiveFallsBackAndRecovers drives an injected allocation drought
+// through the adaptive facility: payloads must keep arriving intact on the
+// copy path, and once the fault lifts a probe must return it to the fast
+// path.
+func TestAdaptiveFallsBackAndRecovers(t *testing.T) {
+	r := newRig(t)
+	bytesPerMsg := 2 * machine.PageSize
+	a, err := NewAdaptive(r.mgr, r.src, r.dst, core.CachedVolatile(), bytesPerMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RetryEvery = 2
+
+	// Healthy: fast path.
+	for i := 0; i < 3; i++ {
+		out, err := a.Send(pattern(bytesPerMsg, byte(i)))
+		if err != nil {
+			t.Fatalf("healthy hop %d: %v", i, err)
+		}
+		if !bytes.Equal(out, pattern(bytesPerMsg, byte(i))) {
+			t.Fatalf("healthy hop %d: payload corrupted", i)
+		}
+	}
+	if a.Stats.FastHops != 3 || a.Stats.CopyHops != 0 {
+		t.Fatalf("healthy stats: %+v", a.Stats)
+	}
+
+	// Drought: every path allocation fails.
+	plane := faults.NewPlane(7)
+	plane.SetRate(faults.PathAlloc, 1_000_000)
+	r.sys.FaultPlane = plane
+
+	for i := 0; i < 5; i++ {
+		out, err := a.Send(pattern(bytesPerMsg, 0x40+byte(i)))
+		if err != nil {
+			t.Fatalf("degraded hop %d: %v", i, err)
+		}
+		if !bytes.Equal(out, pattern(bytesPerMsg, 0x40+byte(i))) {
+			t.Fatalf("degraded hop %d: payload corrupted", i)
+		}
+	}
+	if a.Stats.Episodes != 1 {
+		t.Fatalf("want 1 episode, stats %+v", a.Stats)
+	}
+	if a.Stats.CopyHops != 5 {
+		t.Fatalf("want 5 copy hops, stats %+v", a.Stats)
+	}
+	if !a.Degraded() {
+		t.Fatal("should still be degraded while the fault holds")
+	}
+
+	// Fault lifts: the next probe (every RetryEvery hops) recovers.
+	plane.SetRate(faults.PathAlloc, 0)
+	recovered := false
+	for i := 0; i < 2*a.RetryEvery; i++ {
+		out, err := a.Send(pattern(bytesPerMsg, 0x80+byte(i)))
+		if err != nil {
+			t.Fatalf("recovery hop %d: %v", i, err)
+		}
+		if !bytes.Equal(out, pattern(bytesPerMsg, 0x80+byte(i))) {
+			t.Fatalf("recovery hop %d: payload corrupted", i)
+		}
+		if !a.Degraded() {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("never recovered after fault lifted, stats %+v", a.Stats)
+	}
+	if a.Stats.Recoveries != 1 {
+		t.Fatalf("want 1 recovery, stats %+v", a.Stats)
+	}
+
+	// Back on the fast path for good.
+	fast := a.Stats.FastHops
+	if err := a.Hop(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.FastHops != fast+1 {
+		t.Fatalf("post-recovery hop not fast, stats %+v", a.Stats)
+	}
+}
+
+// TestAdaptiveEmitsEvents checks the fallback/recover trace events and
+// that the manager counted the allocation failures.
+func TestAdaptiveEmitsEvents(t *testing.T) {
+	r := newRig(t)
+	o := obs.New(256)
+	r.sys.Obs = o
+
+	a, err := NewAdaptive(r.mgr, r.src, r.dst, core.CachedVolatile(), machine.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RetryEvery = 1
+
+	plane := faults.NewPlane(1)
+	plane.SetRate(faults.PathAlloc, 1_000_000)
+	r.sys.FaultPlane = plane
+	if err := a.Hop(); err != nil {
+		t.Fatal(err)
+	}
+	plane.SetRate(faults.PathAlloc, 0)
+	if err := a.Hop(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawFall, sawRecover bool
+	for _, e := range o.Tracer.Events() {
+		switch e.Kind {
+		case obs.EvCopyFallback:
+			sawFall = true
+		case obs.EvCopyRecover:
+			sawRecover = true
+		}
+	}
+	if !sawFall || !sawRecover {
+		t.Fatalf("missing events: fallback=%v recover=%v", sawFall, sawRecover)
+	}
+	if st := r.mgr.Snapshot(); st.AllocFailures == 0 {
+		t.Fatalf("manager did not count the alloc failure: %+v", st)
+	}
+}
+
+// TestAdaptivePropagatesNonAllocErrors: lifecycle errors must not be
+// papered over by the copy path.
+func TestAdaptivePropagatesNonAllocErrors(t *testing.T) {
+	r := newRig(t)
+	a, err := NewAdaptive(r.mgr, r.src, r.dst, core.CachedVolatile(), machine.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.reg.Terminate(r.dst)
+	if err := a.Hop(); err == nil {
+		t.Fatal("hop to a dead domain must fail loudly")
+	}
+	if a.Degraded() {
+		t.Fatal("a dead domain is not an allocation drought")
+	}
+}

@@ -138,6 +138,47 @@ func (c *Copier) Hop() error {
 	return touchReadPages(c.dst.AS, c.dstVA, c.bytes)
 }
 
+// Send is Hop carrying a real payload: the bytes are written into the
+// sender's buffer, copied through the kernel buffer page by page, and read
+// back out of the receiver's buffer. len(payload) must not exceed the
+// configured message size. Integrity tests (and the chaos harness's
+// degraded path) verify the returned bytes against the input.
+func (c *Copier) Send(payload []byte) ([]byte, error) {
+	if len(payload) > c.pages*machine.PageSize {
+		return nil, fmt.Errorf("xfer: payload %d exceeds copier capacity %d", len(payload), c.pages*machine.PageSize)
+	}
+	if err := c.src.AS.Write(c.srcVA, payload); err != nil {
+		return nil, err
+	}
+	c.sys.Sink().Charge(2 * copyCost(c.sys.Cost, len(payload)))
+	for i := 0; i*machine.PageSize < len(payload); i++ {
+		sfn, err := c.src.AS.Translate(c.srcVA+vm.VA(i*machine.PageSize), false)
+		if err != nil {
+			return nil, err
+		}
+		c.sys.Mem.Copy(c.kbuf[i], sfn)
+		dfn, err := c.dst.AS.Translate(c.dstVA+vm.VA(i*machine.PageSize), true)
+		if err != nil {
+			return nil, err
+		}
+		c.sys.Mem.Copy(dfn, c.kbuf[i])
+	}
+	out := make([]byte, len(payload))
+	if err := c.dst.AS.Read(c.dstVA, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close releases the copier's kernel bounce buffer. The sender's and
+// receiver's private buffers are torn down with their address spaces.
+func (c *Copier) Close() {
+	for _, fn := range c.kbuf {
+		c.sys.Mem.DecRef(fn)
+	}
+	c.kbuf = nil
+}
+
 // touchWritePages writes one word in each page covering bytes.
 func touchWritePages(as *vm.AddrSpace, va vm.VA, bytes int) error {
 	for o := 0; o < bytes || o == 0; o += machine.PageSize {
@@ -484,6 +525,62 @@ func (f *FbufFacility) Hop() error {
 		return err
 	}
 	return nil
+}
+
+// Send is Hop carrying a real payload through the fbuf path: allocate,
+// write the bytes in the sender, transfer, read them back in the receiver,
+// free both references. Allocation failures propagate (ErrQuota,
+// ErrRegionFull, mem.ErrOutOfMemory) so an adaptive caller can degrade.
+func (f *FbufFacility) Send(payload []byte) ([]byte, error) {
+	var fb *core.Fbuf
+	var err error
+	if f.path != nil {
+		fb, err = f.path.Alloc()
+	} else {
+		fb, err = f.mgr.AllocUncached(f.src, f.pages, f.opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Under fault injection a transfer can die mid-flight (e.g. a lazy
+	// refill hitting an exhausted frame pool); the buffer must not stay
+	// live or it would be reported as leaked by convergence checking.
+	abandon := func(cause error) ([]byte, error) {
+		for _, d := range []*domain.Domain{f.dst, f.src} {
+			if !d.Dead() && fb.HeldBy(d) {
+				if ferr := f.mgr.Free(fb, d); ferr != nil {
+					return nil, ferr
+				}
+			}
+		}
+		return nil, cause
+	}
+	if err := fb.Write(f.src, 0, payload); err != nil {
+		return abandon(err)
+	}
+	if err := f.mgr.Transfer(fb, f.src, f.dst); err != nil {
+		return abandon(err)
+	}
+	out := make([]byte, len(payload))
+	if err := fb.Read(f.dst, 0, out); err != nil {
+		return abandon(err)
+	}
+	if err := f.mgr.Free(fb, f.dst); err != nil {
+		return nil, err
+	}
+	if err := f.mgr.Free(fb, f.src); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close tears the facility's data path down; live fbufs drain through the
+// normal notice flow.
+func (f *FbufFacility) Close() {
+	if f.path != nil {
+		f.mgr.ClosePath(f.path)
+		f.path = nil
+	}
 }
 
 func touchWriteFbuf(fb *core.Fbuf, d *domain.Domain, bytes int) error {
