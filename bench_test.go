@@ -289,6 +289,153 @@ func BenchmarkRealEndToEnd(b *testing.B) {
 	b.ReportMetric(res.ThroughputMbps, "sim-Mb/s")
 }
 
+// --- Parallel micro-benchmarks (wall-clock, machine-dependent) ---
+//
+// These exercise the data-plane hot paths with real goroutines: every
+// goroutine hammers ONE shared path. Run with -race in CI's smp job. The
+// committed SMP numbers come from the deterministic harness behind
+// `fbufbench -exp smp` instead.
+
+// BenchmarkParallelMagazineAllocFree measures alloc/free cycles where each
+// goroutine owns a private magazine — steady state touches no shared lock.
+func BenchmarkParallelMagazineAllocFree(b *testing.B) {
+	sys := fbufs.New(1 << 14)
+	src := sys.NewDomain("src")
+	dst := sys.NewDomain("dst")
+	path, err := sys.NewPath("bench", fbufs.CachedVolatile(), 1, src, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mag := path.NewMagazine(0)
+		defer mag.Drain()
+		for pb.Next() {
+			f, err := mag.Alloc()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := mag.Free(f, src); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelGlobalAllocFree is the shared-lock baseline: the same
+// cycle through the path free list, every op serialized on the path lock.
+func BenchmarkParallelGlobalAllocFree(b *testing.B) {
+	sys := fbufs.New(1 << 14)
+	src := sys.NewDomain("src")
+	dst := sys.NewDomain("dst")
+	path, err := sys.NewPath("bench", fbufs.CachedVolatile(), 1, src, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f, err := path.Alloc()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := sys.Fbufs.Free(f, src); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelTransfer measures the transfer/dup/free reference flow
+// under goroutine concurrency — the atomic Fbuf state machine's hot path.
+func BenchmarkParallelTransfer(b *testing.B) {
+	sys := fbufs.New(1 << 14)
+	src := sys.NewDomain("src")
+	dst := sys.NewDomain("dst")
+	path, err := sys.NewPath("bench", fbufs.CachedVolatile(), 1, src, dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f, err := path.Alloc()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := sys.Fbufs.Transfer(f, src, dst); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := sys.Fbufs.Free(f, dst); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := sys.Fbufs.Free(f, src); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// --- Aggregate allocation benchmarks ---
+//
+// BenchmarkAggregateSteadyState{Unpooled,Pooled} pin the satellite claim
+// that Msg-DAG pooling cuts steady-state Go allocations: run both with
+// -benchmem and compare allocs/op.
+
+func benchAggregateSteadyState(b *testing.B, pooling bool) {
+	sys := fbufs.New(4096)
+	src := sys.NewDomain("src")
+	path, err := sys.NewPath("bench", fbufs.CachedVolatile(), 4, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path.SetQuota(64)
+	ctx, err := sys.NewCtx(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx.SetPooling(pooling)
+	data := make([]byte, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := ctx.NewData(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := ctx.Push(m, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, rest, err := ctx.Split(h, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := rest.Free(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateSteadyStateUnpooled(b *testing.B) {
+	benchAggregateSteadyState(b, false)
+}
+
+func BenchmarkAggregateSteadyStatePooled(b *testing.B) {
+	benchAggregateSteadyState(b, true)
+}
+
 func BenchmarkAblationVCILocality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.AblationVCILocality(); err != nil {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|ablations|all]
+//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|smp|ablations|all]
+//	          [-parallel N]
 //	          [-json] [-json-out BENCH_report.json]
 //	          [-trace out.json] [-metrics out.json]
 //
@@ -13,7 +14,11 @@
 // the machine-readable BENCH_report.json (headline simulated metrics per
 // experiment, for tracking the perf trajectory across PRs); -trace and
 // -metrics export the observability layer's Chrome trace-event JSON and
-// metrics snapshot for the benchmark run.
+// metrics snapshot for the benchmark run. -exp smp prints the deterministic
+// simulated-SMP scaling table; -parallel N additionally runs the wall-clock
+// driver with N real goroutines (opt-in: the default run stays
+// single-threaded and deterministic, and wall-clock numbers never enter the
+// JSON report).
 package main
 
 import (
@@ -27,7 +32,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, ablations, chaos, all (chaos not in all)")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, ablations, chaos, all (chaos not in all)")
+	parallel := flag.Int("parallel", 0, "also run the wall-clock parallel driver with N real goroutines (0 = off; numbers not written to the JSON report)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark report")
 	jsonPath := flag.String("json-out", "BENCH_report.json", "path for the -json report")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
@@ -42,6 +48,12 @@ func main() {
 	if err := run(os.Stdout, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "fbufbench:", err)
 		os.Exit(1)
+	}
+	if *parallel > 0 {
+		if err := runWallClock(os.Stdout, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonOut {
 		if err := writeReport(*jsonPath); err != nil {
@@ -163,6 +175,12 @@ func run(w io.Writer, exp string) error {
 			return err
 		}
 	}
+	if all || exp == "smp" {
+		ran = true
+		if err := show(bench.SMPScaling()); err != nil {
+			return err
+		}
+	}
 	if exp == "chaos" { // not part of "all": paper artifacts stay fault-free
 		ran = true
 		if err := show(bench.Chaos()); err != nil {
@@ -185,4 +203,17 @@ func run(w io.Writer, exp string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// runWallClock runs the opt-in real-goroutine driver (-parallel N).
+func runWallClock(w io.Writer, workers int) error {
+	t, err := bench.ParallelWallClock(workers, 20000)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
 }

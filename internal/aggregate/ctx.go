@@ -30,6 +30,51 @@ type Ctx struct {
 	cur     *core.Fbuf
 	curOff  int
 	retired []*core.Fbuf
+
+	// Deterministic per-Ctx scratch state, reused across operations so the
+	// steady-state editing path stays allocation-free (a Ctx belongs to one
+	// layer in one domain; nothing here is shared). Not sync.Pool: pool
+	// behavior must not depend on goroutine identity or GC timing.
+	have, need map[*core.Fbuf]int
+	sortBuf    []*core.Fbuf
+	batchBuf   []*core.Fbuf
+	preBuf     map[*core.Fbuf]int
+	seenBuf    map[*core.Fbuf]bool
+
+	// Msg recycling (SetPooling): consumed message views return to this
+	// freelist and back fresh views, keeping slice capacity.
+	pooling bool
+	msgPool []*Msg
+}
+
+// SetPooling enables (or disables) recycling of consumed Msg views through
+// a per-Ctx freelist, eliminating the per-operation Msg/slice allocations
+// of the editing path. Off by default because recycling makes retaining a
+// pointer to a consumed view an aliasing hazard: the struct may be reborn
+// as a different message by a later operation. Enable it only for layers
+// that never touch a message after an editing operation consumed it — the
+// discipline the aggregate API already demands, now load-bearing.
+func (c *Ctx) SetPooling(on bool) { c.pooling = on }
+
+// newMsg returns a zeroed message, recycled from the freelist when pooling
+// is enabled.
+func (c *Ctx) newMsg() *Msg {
+	if n := len(c.msgPool); c.pooling && n > 0 {
+		m := c.msgPool[n-1]
+		c.msgPool[n-1] = nil
+		c.msgPool = c.msgPool[:n-1]
+		segs, fbufs := m.segs[:0], m.fbufs[:0]
+		*m = Msg{segs: segs, fbufs: fbufs}
+		return m
+	}
+	return &Msg{}
+}
+
+// recycleMsg returns a consumed view to the freelist.
+func (c *Ctx) recycleMsg(m *Msg) {
+	if c.pooling && m.consumed {
+		c.msgPool = append(c.msgPool, m)
+	}
 }
 
 // NewCtx builds a context over a data path. In integrated mode a companion
@@ -83,6 +128,44 @@ func (c *Ctx) allocData() (*core.Fbuf, error) {
 	return c.Mgr.AllocUncached(c.Dom, c.uncachedPages, c.uncachedOpts)
 }
 
+// allocDataBatch allocates k data fbufs into the Ctx's scratch buffer —
+// valid until the next batch — paying one allocator lock acquisition for
+// the whole batch on a cached path. Error semantics match k individual
+// allocations failing at buffer len(result): already-allocated buffers
+// keep their references (the caller's rebalance or teardown drops them).
+func (c *Ctx) allocDataBatch(k int) ([]*core.Fbuf, error) {
+	if cap(c.batchBuf) < k {
+		c.batchBuf = make([]*core.Fbuf, k)
+	}
+	bufs := c.batchBuf[:k]
+	if c.data != nil {
+		n, err := c.data.AllocBatch(bufs)
+		if err != nil {
+			return bufs[:n], err
+		}
+		return bufs, nil
+	}
+	for i := range bufs {
+		f, err := c.Mgr.AllocUncached(c.Dom, c.uncachedPages, c.uncachedOpts)
+		if err != nil {
+			return bufs[:i], err
+		}
+		bufs[i] = f
+	}
+	return bufs, nil
+}
+
+// takePre returns the Ctx's scratch pre-reference map (cleared), used by
+// the message constructors to seed rebalance with allocator references.
+func (c *Ctx) takePre() map[*core.Fbuf]int {
+	if c.preBuf == nil {
+		c.preBuf = map[*core.Fbuf]int{}
+	} else {
+		clear(c.preBuf)
+	}
+	return c.preBuf
+}
+
 // Close releases the arena's reference on the current node fbuf. Call when
 // the context's layer shuts down.
 func (c *Ctx) Close() error {
@@ -97,17 +180,18 @@ func (c *Ctx) Close() error {
 }
 
 // endOp drops the arena's references on node fbufs retired during the
-// completed operation (messages built by the operation hold their own).
+// completed operation (messages built by the operation hold their own), in
+// one batched free that pays the allocator lock once.
 func (c *Ctx) endOp() {
-	for _, f := range c.retired {
-		// Best effort: the arena's ref must exist unless the ctx is
-		// being torn down concurrently, which the single-threaded
-		// simulation excludes.
-		if err := c.Mgr.Free(f, c.Dom); err != nil {
-			panic("aggregate: arena ref accounting: " + err.Error())
-		}
+	if len(c.retired) == 0 {
+		return
 	}
-	c.retired = nil
+	// The arena's refs must exist unless the ctx is being torn down
+	// concurrently, which the control-plane contract excludes.
+	if err := c.Mgr.FreeBatch(c.retired, c.Dom); err != nil {
+		panic("aggregate: arena ref accounting: " + err.Error())
+	}
+	c.retired = c.retired[:0]
 }
 
 // rebalance moves fbuf references from consumed input messages to output
@@ -115,7 +199,15 @@ func (c *Ctx) endOp() {
 // one reference each. preHave seeds references the caller already owns
 // (freshly allocated data fbufs carry their allocator reference).
 func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) error {
-	have := map[*core.Fbuf]int{}
+	if c.have == nil {
+		c.have = map[*core.Fbuf]int{}
+		c.need = map[*core.Fbuf]int{}
+	}
+	have, need := c.have, c.need
+	defer func() {
+		clear(have)
+		clear(need)
+	}()
 	for f, n := range preHave {
 		have[f] += n
 	}
@@ -127,7 +219,6 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 			have[f]++
 		}
 	}
-	need := map[*core.Fbuf]int{}
 	for _, out := range outputs {
 		for _, f := range out.fbufs {
 			need[f]++
@@ -138,7 +229,7 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 	// Iterate in VA order: ref-count ops emit trace events and charge the
 	// simulated clock, and map order over *Fbuf keys would leak Go's map
 	// randomization into otherwise deterministic runs.
-	for _, f := range sortedFbufs(need) {
+	for _, f := range c.sortedFbufs(need) {
 		for i := have[f]; i < need[f]; i++ {
 			if err := c.Mgr.DupRef(f, c.Dom); err != nil {
 				return fmt.Errorf("aggregate: rebalance dupref: %w", err)
@@ -148,7 +239,7 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 	for _, in := range inputs {
 		in.consumed = true
 	}
-	for _, f := range sortedFbufs(have) {
+	for _, f := range c.sortedFbufs(have) {
 		for i := need[f]; i < have[f]; i++ {
 			if err := c.Mgr.Free(f, c.Dom); err != nil {
 				return fmt.Errorf("aggregate: rebalance free: %w", err)
@@ -156,34 +247,39 @@ func (c *Ctx) rebalance(preHave map[*core.Fbuf]int, inputs, outputs []*Msg) erro
 		}
 	}
 	c.endOp()
+	for _, in := range inputs {
+		c.recycleMsg(in)
+	}
 	return nil
 }
 
 // sortedFbufs returns the map's keys ordered by region VA, the stable
-// identity of an fbuf within one manager.
-func sortedFbufs(m map[*core.Fbuf]int) []*core.Fbuf {
-	fs := make([]*core.Fbuf, 0, len(m))
+// identity of an fbuf within one manager. The returned slice is the Ctx's
+// scratch buffer: valid until the next call.
+func (c *Ctx) sortedFbufs(m map[*core.Fbuf]int) []*core.Fbuf {
+	fs := c.sortBuf[:0]
 	for f := range m {
 		fs = append(fs, f)
 	}
 	sort.Slice(fs, func(i, j int) bool { return fs[i].Base < fs[j].Base })
+	c.sortBuf = fs
 	return fs
 }
 
 // NewData allocates fbufs for data, writes it, and returns the message.
+// Multi-fbuf messages allocate their buffers as one batch.
 func (c *Ctx) NewData(data []byte) (*Msg, error) {
 	cap := c.DataFbufBytes()
+	k := (len(data) + cap - 1) / cap
+	bufs, err := c.allocDataBatch(k)
+	if err != nil {
+		return nil, err
+	}
 	var segs []Seg
-	pre := map[*core.Fbuf]int{}
-	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += cap {
-		if len(data) == 0 {
-			break
-		}
-		f, err := c.allocData()
-		if err != nil {
-			return nil, err
-		}
+	pre := c.takePre()
+	for i, f := range bufs {
 		pre[f] = 1
+		off := i * cap
 		n := len(data) - off
 		if n > cap {
 			n = cap
@@ -198,17 +294,20 @@ func (c *Ctx) NewData(data []byte) (*Msg, error) {
 
 // NewTouched allocates an n-byte message writing only one word in each
 // page — the paper's throughput-test source pattern, which isolates
-// transfer costs from data-generation costs.
+// transfer costs from data-generation costs. The data fbufs are allocated
+// as one batch.
 func (c *Ctx) NewTouched(n int) (*Msg, error) {
 	cap := c.DataFbufBytes()
+	k := (n + cap - 1) / cap
+	bufs, err := c.allocDataBatch(k)
+	if err != nil {
+		return nil, err
+	}
 	var segs []Seg
-	pre := map[*core.Fbuf]int{}
-	for off := 0; off < n; off += cap {
-		f, err := c.allocData()
-		if err != nil {
-			return nil, err
-		}
+	pre := c.takePre()
+	for i, f := range bufs {
 		pre[f] = 1
+		off := i * cap
 		take := n - off
 		if take > cap {
 			take = cap
@@ -233,7 +332,8 @@ func (c *Ctx) WrapFbuf(f *core.Fbuf, off, n int) (*Msg, error) {
 	if !f.HeldBy(c.Dom) {
 		return nil, core.ErrNotHolder
 	}
-	pre := map[*core.Fbuf]int{f: 1}
+	pre := c.takePre()
+	pre[f] = 1
 	var segs []Seg
 	if n > 0 {
 		segs = []Seg{{F: f, VA: f.Base + vm.VA(off), N: n}}
@@ -247,14 +347,12 @@ func (c *Ctx) Join(a, b *Msg) (*Msg, error) {
 	if a.consumed || b.consumed {
 		return nil, ErrConsumed
 	}
-	segs := append(append([]Seg(nil), a.segs...), b.segs...)
-	m := &Msg{
-		mgr:        c.Mgr,
-		integrated: c.integrated,
-		segs:       segs,
-		length:     a.length + b.length,
-	}
-	m.fbufs = uniqueFbufs(segs)
+	m := c.newMsg()
+	m.mgr = c.Mgr
+	m.integrated = c.integrated
+	m.segs = append(append(m.segs, a.segs...), b.segs...)
+	m.length = a.length + b.length
+	m.fbufs = c.uniqueFbufsInto(m.fbufs, m.segs)
 	if c.integrated {
 		// Keep referencing the operands' node fbufs: their DAGs are
 		// now our subtrees.
@@ -360,16 +458,32 @@ func (c *Ctx) Pop(m *Msg, n int) ([]byte, *Msg, error) {
 	return hdr, rest, nil
 }
 
+// uniqueFbufsInto appends the deduplicated fbufs behind a segment list to
+// dst, using the Ctx's scratch seen-set instead of allocating one per call.
+func (c *Ctx) uniqueFbufsInto(dst []*core.Fbuf, segs []Seg) []*core.Fbuf {
+	if c.seenBuf == nil {
+		c.seenBuf = map[*core.Fbuf]bool{}
+	} else {
+		clear(c.seenBuf)
+	}
+	for _, s := range segs {
+		if s.F != nil && !c.seenBuf[s.F] {
+			c.seenBuf[s.F] = true
+			dst = append(dst, s.F)
+		}
+	}
+	return dst
+}
+
 // fromSegs builds a message over a segment list, writing a fresh DAG chain
 // in integrated mode. Reference accounting is the caller's job (rebalance).
 func (c *Ctx) fromSegs(segs []Seg) (*Msg, error) {
-	m := &Msg{
-		mgr:        c.Mgr,
-		integrated: c.integrated,
-		segs:       segs,
-		length:     totalLen(segs),
-		fbufs:      uniqueFbufs(segs),
-	}
+	m := c.newMsg()
+	m.mgr = c.Mgr
+	m.integrated = c.integrated
+	m.segs = segs
+	m.length = totalLen(segs)
+	m.fbufs = c.uniqueFbufsInto(m.fbufs, segs)
 	if c.integrated {
 		root, nodeFbufs, err := c.buildRoot(segs, m.length)
 		if err != nil {

@@ -1,7 +1,7 @@
 // Package analysis is fbufvet's compile-time invariant analyzer suite: a
 // self-contained static-analysis framework (modelled on the
 // golang.org/x/tools/go/analysis API, but built entirely on the standard
-// library so the repo stays dependency-free) plus the four analyzers that
+// library so the repo stays dependency-free) plus the five analyzers that
 // machine-check the fbuf protocol discipline the paper's safety argument
 // rests on:
 //
@@ -15,6 +15,9 @@
 //   - obshook: every hot-path obs.Observer call sits behind the single
 //     nil-check pattern, and observer-guarded blocks charge zero
 //     simulated time.
+//   - lockorder: the concurrency layer's documented lock ranking — no
+//     function acquires a ranked mutex while directly holding a
+//     higher-ranked one (DESIGN.md §10).
 //
 // The suite runs three ways: as a `go vet -vettool` (package unitchecker
 // protocol, cmd/fbufvet), as a standalone checker over the module source
@@ -70,7 +73,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full fbufvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FbufCheck, ErrFlow, DetLint, ObsHook}
+	return []*Analyzer{FbufCheck, ErrFlow, DetLint, ObsHook, LockOrder}
 }
 
 // ByName returns the analyzer with the given name, or nil.

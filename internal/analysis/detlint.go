@@ -22,8 +22,12 @@ import (
 //     is randomized by the runtime, so output keyed on it differs per
 //     run. Sorting the keys first is the accepted pattern.
 //
-// _test.go files are exempt (tests may race goroutines on purpose), as is
-// package main outside internal/ when it only orchestrates.
+// _test.go files are exempt (tests may race goroutines on purpose), and a
+// file can opt out wholesale with a `//detlint:parallel` comment — the
+// escape hatch for code that deliberately measures real concurrency (the
+// wall-clock parallel benchmark driver) and therefore sits outside the
+// deterministic-trace contract. The pragma is file-scoped and visible in
+// review; simulator packages proper must never carry it.
 var DetLint = &Analyzer{
 	Name: "detlint",
 	Doc:  "forbid wall-clock time, unseeded math/rand, goroutines, and map-order-dependent output in simulator code",
@@ -38,7 +42,7 @@ var detlintWallClock = map[string]bool{
 func runDetLint(pass *Pass) error {
 	info := pass.TypesInfo
 	for _, file := range pass.Files {
-		if isTestFile(pass.Fset, file.Pos()) {
+		if isTestFile(pass.Fset, file.Pos()) || hasParallelPragma(file) {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -70,6 +74,20 @@ func runDetLint(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// hasParallelPragma reports whether the file opts out of the determinism
+// contract with a `//detlint:parallel` comment (any line of any comment
+// group; conventionally placed right above the package clause).
+func hasParallelPragma(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == "//detlint:parallel" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // isGlobalRandFunc reports whether fn draws from the process-global

@@ -1,0 +1,27 @@
+// Package a, continued: this file carries the parallel pragma, the
+// opt-out for code that deliberately measures real concurrency and so
+// sits outside the deterministic-trace contract. Nothing here is
+// reported.
+//
+//detlint:parallel
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockBench(work func()) time.Duration {
+	start := time.Now() // pragma file: wall-clock reads allowed
+	done := make(chan struct{})
+	go func() { // pragma file: goroutines allowed
+		work()
+		close(done)
+	}()
+	<-done
+	return time.Since(start)
+}
+
+func jitter() int {
+	return rand.Int() // pragma file: global source allowed
+}

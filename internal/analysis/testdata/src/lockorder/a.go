@@ -1,0 +1,129 @@
+// Package a is the lockorder corpus: types named like the facility's
+// lock owners (matching is by type and field name), exercised in the
+// documented order and against it.
+package a
+
+import "sync"
+
+type DataPath struct{ mu sync.Mutex }
+
+func (p *DataPath) lock()   { p.mu.Lock() }
+func (p *DataPath) unlock() { p.mu.Unlock() }
+
+type Manager struct {
+	regionMu sync.Mutex
+	noticeMu sync.Mutex
+}
+
+type chunk struct{ mu sync.Mutex }
+
+type Fbuf struct{ mu sync.Mutex }
+
+type Sanitizer struct{ mu sync.Mutex }
+
+type AddrSpace struct{ mu sync.Mutex }
+
+// --- The documented order is clean ---------------------------------------
+
+func goodNesting(p *DataPath, m *Manager, c *chunk, f *Fbuf) {
+	p.mu.Lock()
+	m.regionMu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	m.regionMu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func wrapperCountsAsPathLock(p *DataPath, m *Manager) {
+	p.lock()
+	m.regionMu.Lock()
+	m.regionMu.Unlock()
+	p.unlock()
+}
+
+func sequentialNotNested(m *Manager, f *Fbuf) {
+	f.mu.Lock()
+	f.mu.Unlock()
+	m.regionMu.Lock() // the fbuf lock was released: no nesting
+	m.regionMu.Unlock()
+}
+
+func leafAboveEverything(m *Manager, f *Fbuf, a *AddrSpace) {
+	f.mu.Lock()
+	a.mu.Lock()
+	m.noticeMu.Lock()
+	m.noticeMu.Unlock()
+	a.mu.Unlock()
+	f.mu.Unlock()
+}
+
+func armsAreExclusive(p *DataPath, cond bool) {
+	if cond {
+		p.lock()
+		p.unlock()
+	} else {
+		p.lock()
+		p.unlock()
+	}
+}
+
+func unrankedIgnored(mu *sync.Mutex, p *DataPath) {
+	mu.Lock() // not in the rank table: invisible
+	p.lock()
+	p.unlock()
+	mu.Unlock()
+}
+
+func tryLockCannotBlock(p *DataPath, m *Manager) {
+	m.regionMu.Lock()
+	if p.mu.TryLock() { // a failed try returns; no deadlock cycle
+		p.mu.Unlock()
+	}
+	m.regionMu.Unlock()
+}
+
+// --- Inversions ----------------------------------------------------------
+
+func regionThenPath(m *Manager, p *DataPath) {
+	m.regionMu.Lock()
+	p.mu.Lock() // want "lock order violation: acquiring DataPath.mu while holding Manager.regionMu"
+	p.mu.Unlock()
+	m.regionMu.Unlock()
+}
+
+func fbufThenPathWrapper(f *Fbuf, p *DataPath) {
+	f.mu.Lock()
+	defer f.mu.Unlock() // deferred: held to function end
+	p.lock()            // want "lock order violation: acquiring DataPath.mu while holding Fbuf.mu"
+	p.unlock()
+}
+
+func sanitizerThenFbuf(s *Sanitizer, f *Fbuf) {
+	s.mu.Lock()
+	f.mu.Lock() // want "lock order violation: acquiring Fbuf.mu while holding Sanitizer.mu"
+	f.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func noticeThenChunk(m *Manager, c *chunk) {
+	m.noticeMu.Lock()
+	c.mu.Lock() // want "lock order violation: acquiring chunk.mu while holding Manager.noticeMu"
+	c.mu.Unlock()
+	m.noticeMu.Unlock()
+}
+
+func selfRelock(f *Fbuf) {
+	f.mu.Lock()
+	f.mu.Lock() // want "already holds this mutex"
+	f.mu.Unlock()
+	f.mu.Unlock()
+}
+
+func twoFbufsAllowed(a, b *Fbuf) {
+	a.mu.Lock()
+	b.mu.Lock() // distinct instances at one rank: caller orders them
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

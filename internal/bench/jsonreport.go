@@ -125,6 +125,16 @@ func BuildReport() (*Report, error) {
 		Headline: counters["cache_hits"],
 		Values:   counters,
 	}
+
+	smp, _, err := smpScalingValues()
+	if err != nil {
+		return nil, err
+	}
+	rep.Experiments["smp_scaling"] = Experiment{
+		Unit:     "ops/s (speedups and counters unitless)",
+		Headline: smp["speedup magazine 4w"],
+		Values:   smp,
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// SMP scaling experiment.
+//
+// The facility's determinism contract keeps simulator code single-threaded,
+// and every number in BENCH_report.json is a simulated-time result, so the
+// SMP experiment models W cores as W logical workers over ONE shared fbuf
+// manager, driven by a single goroutine. Each worker owns a private virtual
+// clock; the scheduler always steps the worker whose clock is furthest
+// behind (ties break by worker index), swapping the system's cost sink to
+// that worker's clock for the duration of its alloc/touch/free cycle, so
+// real facility costs land on the core that incurred them. Cross-core
+// serialization is modelled explicitly: the shared path free-list lock is a
+// resource with a release time, and a worker that needs it first advances
+// its clock to that release time (the modelled lock wait) before occupying
+// it for the operation's hold time.
+//
+// Two configurations bracket the claim:
+//
+//   - "global-lock": every alloc and every free occupies the shared path
+//     lock — the facility before per-worker magazines. The serialized
+//     section bounds total throughput regardless of worker count.
+//   - "magazine": each worker allocates through its private magazine.
+//     Steady-state cycles hit the stash and touch no shared state at all;
+//     only refills and flushes pay a (longer, batched) lock hold.
+//
+// The schedule, the clocks, and every counter are identical on every run.
+// Wall-clock goroutine benchmarks exist too (fbufbench -parallel N and the
+// root Benchmark*Parallel functions) but their numbers are machine-dependent
+// and deliberately stay out of the committed report.
+
+const (
+	// smpOpsPerWorker is each logical worker's alloc/touch/free cycle count.
+	smpOpsPerWorker = 2000
+	// smpTouchCost models the per-cycle application work on the fbuf's
+	// page (3 us) — the parallel section of a cycle.
+	smpTouchCost = simtime.Duration(3000)
+	// smpLockHold models the shared-lock occupancy of one locked alloc or
+	// free (1.5 us) — the serialized section of a global-lock cycle.
+	smpLockHold = simtime.Duration(1500)
+	// smpBatchHold models the occupancy of a magazine refill or flush,
+	// which moves up to half a stash under one acquisition (3 us).
+	smpBatchHold = simtime.Duration(3000)
+)
+
+// smpWorkerCounts is the worker-count sweep for both configurations.
+var smpWorkerCounts = []int{1, 2, 4}
+
+// smpRun is one configuration x worker-count measurement.
+type smpRun struct {
+	opsPerSec  float64
+	lockWaitUS float64 // modelled time workers spent waiting on the shared lock
+	lockOps    uint64  // modelled shared-lock occupations
+	cont       core.Contention
+}
+
+// runSMP executes the harness: W logical workers over one cached/volatile
+// path, with or without per-worker magazines.
+func runSMP(workers int, magazines bool) (*smpRun, error) {
+	buildClk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 1<<15, vm.ClockSink{Clock: buildClk})
+	reg := domain.NewRegistry(sys)
+	mgr := core.NewManagerGeometry(sys, reg, 256, 64)
+	src := reg.New("src")
+	dst := reg.New("dst")
+	path, err := mgr.NewPath("smp", core.CachedVolatile(), 1, src, dst)
+	if err != nil {
+		return nil, err
+	}
+
+	// A cycle runs as three separately scheduled phases (alloc, touch,
+	// free) so one worker's touch overlaps other workers' lock sections —
+	// the overlap that gives the global-lock configuration its partial
+	// scaling instead of full serialization.
+	type worker struct {
+		clk   *simtime.Clock
+		mag   *core.Magazine
+		f     *core.Fbuf
+		phase int
+		ops   int
+	}
+	ws := make([]*worker, workers)
+	for i := range ws {
+		w := &worker{clk: &simtime.Clock{}}
+		if magazines {
+			w.mag = path.NewMagazine(0)
+		}
+		ws[i] = w
+	}
+
+	var (
+		lockFreeAt simtime.Time     // when the modelled shared lock frees up
+		lockWait   simtime.Duration // summed modelled waiting
+		lockOps    uint64
+	)
+	serialize := func(w *worker, hold simtime.Duration) {
+		if now := w.clk.Now(); now < lockFreeAt {
+			lockWait += lockFreeAt - now
+			w.clk.AdvanceTo(lockFreeAt)
+		}
+		w.clk.Advance(hold)
+		lockFreeAt = w.clk.Now()
+		lockOps++
+	}
+
+	total := workers * smpOpsPerWorker
+	for finished := 0; finished < workers; {
+		// Step the unfinished worker furthest behind in virtual time.
+		var w *worker
+		for _, cand := range ws {
+			if cand.ops >= smpOpsPerWorker {
+				continue
+			}
+			if w == nil || cand.clk.Now() < w.clk.Now() {
+				w = cand
+			}
+		}
+		sys.SetSink(vm.ClockSink{Clock: w.clk})
+		switch w.phase {
+		case 0: // allocate
+			if magazines {
+				hadStash := w.mag.Depth() > 0
+				f, err := w.mag.Alloc()
+				if err != nil {
+					return nil, err
+				}
+				w.f = f
+				if !hadStash {
+					// The miss refilled (or carved) under the shared lock.
+					serialize(w, smpBatchHold)
+				}
+			} else {
+				f, err := path.Alloc()
+				if err != nil {
+					return nil, err
+				}
+				w.f = f
+				serialize(w, smpLockHold)
+			}
+			w.phase = 1
+		case 1: // touch
+			w.clk.Advance(smpTouchCost)
+			w.phase = 2
+		case 2: // free
+			if magazines {
+				depth := w.mag.Depth()
+				if err := w.mag.Free(w.f, src); err != nil {
+					return nil, err
+				}
+				if w.mag.Depth() <= depth {
+					// The push overflowed the stash: half flushed under the lock.
+					serialize(w, smpBatchHold)
+				}
+			} else {
+				if err := mgr.Free(w.f, src); err != nil {
+					return nil, err
+				}
+				serialize(w, smpLockHold)
+			}
+			w.f = nil
+			w.phase = 0
+			w.ops++
+			if w.ops >= smpOpsPerWorker {
+				finished++
+			}
+		}
+	}
+
+	// Teardown charges go back to the build clock; the measurement is the
+	// makespan — the furthest-ahead worker clock when the last op retires.
+	sys.SetSink(vm.ClockSink{Clock: buildClk})
+	var makespan simtime.Time
+	for _, w := range ws {
+		if w.clk.Now() > makespan {
+			makespan = w.clk.Now()
+		}
+		if w.mag != nil {
+			w.mag.Drain()
+		}
+	}
+	if makespan <= 0 {
+		return nil, fmt.Errorf("bench: smp run makespan = %d", makespan)
+	}
+	return &smpRun{
+		opsPerSec:  float64(total) / (float64(makespan) / 1e9),
+		lockWaitUS: lockWait.Microseconds(),
+		lockOps:    lockOps,
+		cont:       mgr.ContentionSnapshot(),
+	}, nil
+}
+
+// smpConfigs orders the two configurations for tables and reports.
+var smpConfigs = []struct {
+	name      string
+	magazines bool
+}{
+	{"global-lock", false},
+	{"magazine", true},
+}
+
+// smpScalingValues runs the full sweep and returns the report values plus
+// the rendered table. Headline value: "speedup magazine 4w".
+func smpScalingValues() (map[string]float64, *Table, error) {
+	vals := make(map[string]float64)
+	t := &Table{
+		Title:  "SMP scaling: parallel alloc/free over one shared path (simulated cores)",
+		Header: []string{"config", "workers", "kops/s", "speedup", "lock waits us", "lock ops", "mag hit%"},
+		Note: fmt.Sprintf("deterministic simulated-SMP harness: %d ops/worker, %.1fus touch, %.1fus lock hold, %.1fus batched refill/flush",
+			smpOpsPerWorker, smpTouchCost.Microseconds(), smpLockHold.Microseconds(), smpBatchHold.Microseconds()),
+	}
+	for _, cfg := range smpConfigs {
+		var base float64
+		for _, w := range smpWorkerCounts {
+			r, err := runSMP(w, cfg.magazines)
+			if err != nil {
+				return nil, nil, err
+			}
+			if w == smpWorkerCounts[0] {
+				base = r.opsPerSec
+			}
+			speedup := r.opsPerSec / base
+			vals[fmt.Sprintf("%s %dw ops/s", cfg.name, w)] = r.opsPerSec
+			vals[fmt.Sprintf("speedup %s %dw", cfg.name, w)] = speedup
+			hitPct := 0.0
+			if h, m := r.cont.MagazineHits, r.cont.MagazineMisses; h+m > 0 {
+				hitPct = 100 * float64(h) / float64(h+m)
+			}
+			t.Rows = append(t.Rows, []string{
+				cfg.name,
+				fmt.Sprintf("%d", w),
+				fmt.Sprintf("%.0f", r.opsPerSec/1e3),
+				fmt.Sprintf("%.2f", speedup),
+				fmt.Sprintf("%.1f", r.lockWaitUS),
+				fmt.Sprintf("%d", r.lockOps),
+				fmt.Sprintf("%.1f", hitPct),
+			})
+			if w == 4 {
+				vals[fmt.Sprintf("%s 4w lock_wait_us", cfg.name)] = r.lockWaitUS
+				vals[fmt.Sprintf("%s 4w lock_acquires", cfg.name)] = float64(r.cont.LockAcquires)
+				vals[fmt.Sprintf("%s 4w lock_contended", cfg.name)] = float64(r.cont.LockContended)
+				if cfg.magazines {
+					vals["magazine 4w magazine_hits"] = float64(r.cont.MagazineHits)
+					vals["magazine 4w magazine_misses"] = float64(r.cont.MagazineMisses)
+					vals["magazine 4w magazine_refills"] = float64(r.cont.MagazineRefills)
+					vals["magazine 4w magazine_flushes"] = float64(r.cont.MagazineFlushes)
+				}
+			}
+		}
+	}
+	return vals, t, nil
+}
+
+// SMPScaling renders the smp_scaling experiment as a text table
+// (fbufbench -exp smp).
+func SMPScaling() (*Table, error) {
+	_, t, err := smpScalingValues()
+	return t, err
+}

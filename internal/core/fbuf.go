@@ -29,6 +29,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
@@ -127,6 +129,14 @@ func (s State) String() string {
 // Fbuf is one fast buffer: one or more contiguous virtual memory pages in
 // the fbuf region, mapped at the same virtual address in every domain that
 // can see it.
+//
+// Concurrency: the lifecycle state and the secured bit live in one atomic
+// word (the DESIGN.md §10 state machine), the total reference count is an
+// atomic counter, and the per-domain reference map, the mapped set, and the
+// frame slots are guarded by mu. Transfer, DupRef, and Free are therefore
+// atomic transitions safe under concurrent workers; in the single-threaded
+// default mode the atomics and locks are uncontended and all observable
+// behavior (costs, events, counters) is unchanged.
 type Fbuf struct {
 	// Base is the fbuf's virtual address, identical in all domains.
 	Base vm.VA
@@ -142,46 +152,98 @@ type Fbuf struct {
 
 	mgr    *Manager
 	opts   Options
-	state  State
 	frames []mem.FrameNum // NoFrame where reclaimed / not yet populated
 
+	// st packs the lifecycle State (low 8 bits) and the secured flag
+	// (bit 8): one atomic word so a transfer observes a consistent
+	// (state, write-permission) pair without taking mu.
+	st atomic.Uint32
+
+	// mu guards refs, mapped, and the frames slots during concurrent
+	// operation. It ranks below the path lock and above the address-space
+	// lock in the documented lock order.
+	mu sync.Mutex
 	// refs counts live references per domain. The originator's initial
 	// reference is created by Alloc.
 	refs map[domain.ID]int
+	// total mirrors the sum of refs as an atomic, so Refs() and the
+	// last-reference test need no lock.
+	total atomic.Int64
 	// mapped records which domains currently have page-table mappings
 	// (cached fbufs keep these across free/reuse).
 	mapped map[domain.ID]bool
-	// secured records that the originator's write permission has been
-	// removed (eagerly for non-volatile fbufs, or by Secure).
-	secured bool
 	// gen increments on every recycle; stale references from a prior
 	// life are a caller bug that tests can detect.
-	gen uint64
+	gen atomic.Uint64
+}
+
+// securedBit is the secured flag inside the packed st word.
+const securedBit uint32 = 1 << 8
+
+// loadState reads the lifecycle state from the packed word.
+func (f *Fbuf) loadState() State { return State(f.st.Load() & 0xff) }
+
+// setState atomically replaces the lifecycle state, preserving the
+// secured bit.
+func (f *Fbuf) setState(s State) {
+	for {
+		old := f.st.Load()
+		if f.st.CompareAndSwap(old, (old&^uint32(0xff))|uint32(s)) {
+			return
+		}
+	}
+}
+
+// isSecured reads the secured bit.
+func (f *Fbuf) isSecured() bool { return f.st.Load()&securedBit != 0 }
+
+// setSecured atomically sets or clears the secured bit.
+func (f *Fbuf) setSecured(v bool) {
+	for {
+		old := f.st.Load()
+		nw := old &^ securedBit
+		if v {
+			nw = old | securedBit
+		}
+		if f.st.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// resetLive is the cached-reuse transition: Free → Live with a single
+// originator reference and a bumped generation. The caller owns the fbuf
+// exclusively (it was just popped from a free list or magazine).
+func (f *Fbuf) resetLive(orig *domain.Domain) {
+	f.setState(StateLive)
+	f.mu.Lock()
+	f.refs[orig.ID] = 1
+	f.mu.Unlock()
+	f.total.Store(1)
+	f.gen.Add(1)
 }
 
 // Size returns the fbuf length in bytes.
 func (f *Fbuf) Size() int { return f.Pages * machine.PageSize }
 
 // State returns the fbuf's lifecycle state.
-func (f *Fbuf) State() State { return f.state }
+func (f *Fbuf) State() State { return f.loadState() }
 
 // Secured reports whether the originator's write permission is removed.
-func (f *Fbuf) Secured() bool { return f.secured }
+func (f *Fbuf) Secured() bool { return f.isSecured() }
 
 // Volatile reports whether the fbuf is volatile.
 func (f *Fbuf) Volatile() bool { return f.opts.Volatile }
 
 // Refs returns the total outstanding reference count.
-func (f *Fbuf) Refs() int {
-	n := 0
-	for _, c := range f.refs {
-		n += c
-	}
-	return n
-}
+func (f *Fbuf) Refs() int { return int(f.total.Load()) }
 
 // HeldBy reports whether d holds at least one reference.
-func (f *Fbuf) HeldBy(d *domain.Domain) bool { return f.refs[d.ID] > 0 }
+func (f *Fbuf) HeldBy(d *domain.Domain) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.refs[d.ID] > 0
+}
 
 // Contains reports whether va falls inside the fbuf.
 func (f *Fbuf) Contains(va vm.VA) bool {
@@ -189,7 +251,7 @@ func (f *Fbuf) Contains(va vm.VA) bool {
 }
 
 // Generation returns the recycle generation (diagnostics).
-func (f *Fbuf) Generation() uint64 { return f.gen }
+func (f *Fbuf) Generation() uint64 { return f.gen.Load() }
 
 // Errors returned by the fbuf facility.
 var (

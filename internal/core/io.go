@@ -105,9 +105,12 @@ func (f *Fbuf) DMARead(off int, buf []byte) error {
 }
 
 // CheckInvariants validates facility-wide consistency; tests call it after
-// operation sequences (including randomized ones).
+// operation sequences (including randomized ones). It is control-plane: the
+// caller must guarantee quiescence (no in-flight data-plane operations, all
+// magazines drained) — the walk reads chunk and free-list structure without
+// holding every lock at once.
 func (m *Manager) CheckInvariants() error {
-	if err := m.stats.Check(); err != nil {
+	if err := m.Snapshot().Check(); err != nil {
 		return err
 	}
 	seenChunk := make(map[int]bool)
@@ -140,13 +143,13 @@ func (m *Manager) CheckInvariants() error {
 	}
 	for _, p := range m.paths {
 		for _, f := range p.free {
-			if f.state != StateFree {
-				return fmt.Errorf("core: fbuf %#x on free list in state %s", uint64(f.Base), f.state)
+			if s := f.State(); s != StateFree {
+				return fmt.Errorf("core: fbuf %#x on free list in state %s", uint64(f.Base), s)
 			}
 			if f.Refs() != 0 {
 				return fmt.Errorf("core: free fbuf %#x has %d refs", uint64(f.Base), f.Refs())
 			}
-			if f.secured {
+			if f.Secured() {
 				return fmt.Errorf("core: free fbuf %#x still secured", uint64(f.Base))
 			}
 		}
@@ -176,9 +179,9 @@ func (m *Manager) CheckConverged() error {
 			continue
 		}
 		for _, f := range c.fbufs {
-			if f.state != StateFree {
+			if s := f.State(); s != StateFree {
 				return fmt.Errorf("core: not converged: fbuf %#x (path %v) still %s with %d refs",
-					uint64(f.Base), f.Path, f.state, f.Refs())
+					uint64(f.Base), f.Path, s, f.Refs())
 			}
 		}
 	}
@@ -200,10 +203,10 @@ func (m *Manager) checkFbuf(f *Fbuf) error {
 			return fmt.Errorf("core: fbuf %#x has non-positive ref entry", uint64(f.Base))
 		}
 	}
-	if f.state == StateLive && len(f.refs) == 0 {
+	if f.State() == StateLive && len(f.refs) == 0 {
 		return fmt.Errorf("core: live fbuf %#x has no refs", uint64(f.Base))
 	}
-	if f.state == StateDrainingNotice && len(f.refs) != 0 {
+	if f.State() == StateDrainingNotice && len(f.refs) != 0 {
 		return fmt.Errorf("core: draining fbuf %#x still has refs", uint64(f.Base))
 	}
 	// Every attached frame must be referenced by at least the mappings we

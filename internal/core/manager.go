@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"fbufs/internal/domain"
 	"fbufs/internal/faults"
@@ -14,23 +16,44 @@ import (
 // Manager is the per-host fbuf facility: it owns the fbuf region, grants
 // chunks to path allocators, and implements transfer, secure, free, notice
 // delivery, reclamation, and domain-termination cleanup.
+//
+// Concurrency model (DESIGN.md §10): the data-plane operations — Alloc,
+// AllocBatch, Transfer, DupRef, Secure, Free, FreeBatch, fault handling —
+// are safe under concurrent workers. State is sharded so they rarely meet on
+// one lock: each DataPath guards its own free list and chunk list, each
+// chunk guards its fbuf directory, each Fbuf guards its reference and
+// mapping maps, and the Manager keeps only two narrow locks (regionMu for
+// the chunk table and uncached directory, noticeMu for the pending-notice
+// map) plus atomic counters for stats. Control-plane operations — NewPath,
+// AttachDomain, ClosePath, domain creation and termination, ReclaimIdle,
+// CheckInvariants — mutate the path/domain directories without locks and
+// are single-threaded by contract: run them before workers start or after
+// they quiesce, exactly as a kernel runs them under its own coarse lock.
 type Manager struct {
 	Sys *vm.System
 	Reg *domain.Registry
 
 	chunkPages int
 	numChunks  int
+
+	// regionMu guards the chunk table (chunks slots, freeChunks), the
+	// uncached directory, and the lazily allocated empty-leaf frame.
+	regionMu   sync.Mutex
 	chunks     []*chunk
 	freeChunks []int
 
 	paths    map[int]*DataPath
 	nextPath int
 
-	// uncached tracks live default-allocator fbufs by base VA.
+	// uncached tracks live default-allocator fbufs by base VA (regionMu).
 	uncached map[vm.VA]*Fbuf
 
 	attached map[int]*domain.Domain // asid -> domain
 
+	// noticeMu guards notices. Delivery pops a batch under the lock and
+	// recycles after releasing it, so noticeMu is never held across the
+	// recycle machinery (it is a leaf lock).
+	noticeMu sync.Mutex
 	// Pending deallocation notices, held at the freeing domain keyed by
 	// the owning (originator) domain, delivered on the next RPC reply
 	// that travels holder->owner, or explicitly when the list overflows.
@@ -59,7 +82,50 @@ type Manager struct {
 	// sanitizer.go). Every hook is behind this single nil check.
 	san *Sanitizer
 
+	// stats fields are updated with atomic adds and read through
+	// Snapshot(); never read the struct directly during concurrent
+	// operation.
 	stats Stats
+
+	// contention counts lock traffic and magazine cache behavior
+	// (published as the smp.* metric group). All fields are atomic.
+	contention Contention
+}
+
+// Contention is the SMP diagnostics counter group: shared-lock traffic on
+// the path allocators and the hit/refill behavior of per-worker magazines.
+// In the single-threaded default mode LockContended is always zero and
+// every counter is deterministic.
+type Contention struct {
+	// LockAcquires counts path free-list lock acquisitions.
+	LockAcquires uint64
+	// LockContended counts acquisitions that found the lock held
+	// (TryLock failed and the caller had to wait).
+	LockContended uint64
+	// MagazineHits counts allocations served from a per-worker magazine
+	// stash without touching any shared lock.
+	MagazineHits uint64
+	// MagazineMisses counts magazine allocations that found the stash
+	// empty and fell back to the shared free list.
+	MagazineMisses uint64
+	// MagazineRefills counts refill operations that moved at least one
+	// fbuf from a shared free list into a magazine.
+	MagazineRefills uint64
+	// MagazineFlushes counts flush operations that returned at least one
+	// fbuf from a magazine to a shared free list.
+	MagazineFlushes uint64
+}
+
+// ContentionSnapshot returns an atomic copy of the contention counters.
+func (m *Manager) ContentionSnapshot() Contention {
+	return Contention{
+		LockAcquires:    atomic.LoadUint64(&m.contention.LockAcquires),
+		LockContended:   atomic.LoadUint64(&m.contention.LockContended),
+		MagazineHits:    atomic.LoadUint64(&m.contention.MagazineHits),
+		MagazineMisses:  atomic.LoadUint64(&m.contention.MagazineMisses),
+		MagazineRefills: atomic.LoadUint64(&m.contention.MagazineRefills),
+		MagazineFlushes: atomic.LoadUint64(&m.contention.MagazineFlushes),
+	}
 }
 
 type noticeKey struct {
@@ -67,13 +133,16 @@ type noticeKey struct {
 	owner  domain.ID
 }
 
-// chunk is one kernel-granted slice of the fbuf region.
+// chunk is one kernel-granted slice of the fbuf region. mu guards the fbuf
+// directory (fbufs); used is guarded by the owning path's lock for
+// path-owned chunks and by the manager's regionMu for kernel-owned ones.
 type chunk struct {
 	index int
 	base  vm.VA
 	owner *DataPath // nil when free or owned by the default allocator
-	fbufs []*Fbuf   // carved buffers (contiguous from base)
-	used  int       // pages carved so far
+	mu    sync.Mutex
+	fbufs []*Fbuf // carved buffers (contiguous from base)
+	used  int     // pages carved so far
 }
 
 // Stats counts facility activity for the experiment reports.
@@ -100,6 +169,12 @@ type Stats struct {
 
 // Check validates the cross-counter invariants; Manager.CheckInvariants
 // calls it so any counter drift fails existing tests at the source.
+//
+// Check is a value method on a snapshot copy, so it is safe to call from
+// any goroutine. The invariants themselves only hold at quiescence: a
+// worker caught between its Allocs increment and the matching
+// CacheHits/CacheMisses increment would make a mid-flight snapshot drift,
+// so take the Snapshot after workers stop (or join) before checking.
 func (s Stats) Check() error {
 	if s.Allocs != s.CacheHits+s.CacheMisses {
 		return fmt.Errorf("core: stats drift: Allocs=%d != CacheHits=%d + CacheMisses=%d",
@@ -125,8 +200,28 @@ func (s Stats) Check() error {
 
 // Snapshot returns a copy of the facility counters — the typed read path
 // for tests, benches, and tools (the live struct is unexported so no
-// consumer can drift a duplicate count).
-func (m *Manager) Snapshot() Stats { return m.stats }
+// consumer can drift a duplicate count). Every field is read with an
+// atomic load, so Snapshot is safe during concurrent operation; it is a
+// per-field snapshot, not a globally consistent cut — cross-counter
+// invariants (Stats.Check) are only meaningful at quiescence.
+func (m *Manager) Snapshot() Stats {
+	return Stats{
+		Allocs:          atomic.LoadUint64(&m.stats.Allocs),
+		CacheHits:       atomic.LoadUint64(&m.stats.CacheHits),
+		CacheMisses:     atomic.LoadUint64(&m.stats.CacheMisses),
+		Transfers:       atomic.LoadUint64(&m.stats.Transfers),
+		MappingsBuilt:   atomic.LoadUint64(&m.stats.MappingsBuilt),
+		Secures:         atomic.LoadUint64(&m.stats.Secures),
+		Frees:           atomic.LoadUint64(&m.stats.Frees),
+		Recycles:        atomic.LoadUint64(&m.stats.Recycles),
+		NoticesQueued:   atomic.LoadUint64(&m.stats.NoticesQueued),
+		NoticesPiggy:    atomic.LoadUint64(&m.stats.NoticesPiggy),
+		NoticesExplicit: atomic.LoadUint64(&m.stats.NoticesExplicit),
+		FramesReclaimed: atomic.LoadUint64(&m.stats.FramesReclaimed),
+		LazyRefills:     atomic.LoadUint64(&m.stats.LazyRefills),
+		AllocFailures:   atomic.LoadUint64(&m.stats.AllocFailures),
+	}
+}
 
 // PublishMetrics writes the facility counters and per-path gauges into the
 // registry using Set, so the Stats struct stays the single source of truth.
@@ -134,7 +229,7 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	s := m.stats
+	s := m.Snapshot()
 	reg.Counter("core.allocs").Set(s.Allocs)
 	reg.Counter("core.cache_hits").Set(s.CacheHits)
 	reg.Counter("core.cache_misses").Set(s.CacheMisses)
@@ -149,8 +244,15 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("core.frames_reclaimed").Set(s.FramesReclaimed)
 	reg.Counter("core.lazy_refills").Set(s.LazyRefills)
 	reg.Counter("core.alloc_failures").Set(s.AllocFailures)
+	c := m.ContentionSnapshot()
+	reg.Counter("smp.lock_acquires").Set(c.LockAcquires)
+	reg.Counter("smp.lock_contended").Set(c.LockContended)
+	reg.Counter("smp.magazine_hits").Set(c.MagazineHits)
+	reg.Counter("smp.magazine_misses").Set(c.MagazineMisses)
+	reg.Counter("smp.magazine_refills").Set(c.MagazineRefills)
+	reg.Counter("smp.magazine_flushes").Set(c.MagazineFlushes)
 	for _, p := range m.paths {
-		reg.Gauge(p.metricPrefix() + "free_depth").Set(int64(len(p.free)))
+		reg.Gauge(p.metricPrefix() + "free_depth").Set(int64(p.FreeListLen()))
 	}
 }
 
@@ -168,7 +270,7 @@ func (m *Manager) emit(kind obs.EventKind, d *domain.Domain, f *Fbuf, arg int64)
 	}
 	var gen uint64
 	if f != nil {
-		gen = f.gen
+		gen = f.gen.Load()
 		if f.Path != nil {
 			track = f.Path.ID + m.Sys.TraceBase
 		}
@@ -232,6 +334,8 @@ func (m *Manager) RegionPages() int { return m.chunkPages * m.numChunks }
 // legitimately outlives a converged workload, so frame-leak accounting
 // (the chaos harness) can exclude it from its baseline comparison.
 func (m *Manager) EmptyLeafFrames() int {
+	m.regionMu.Lock()
+	defer m.regionMu.Unlock()
 	if m.emptyLeafFrame == mem.NoFrame {
 		return 0
 	}
@@ -281,6 +385,14 @@ func (m *Manager) Attached(d *domain.Domain) bool {
 // grantChunk hands a free chunk to a path allocator (or the default
 // allocator when p is nil), charging the kernel-call cost.
 func (m *Manager) grantChunk(p *DataPath) (*chunk, error) {
+	m.regionMu.Lock()
+	defer m.regionMu.Unlock()
+	return m.grantChunkLocked(p)
+}
+
+// grantChunkLocked is grantChunk with regionMu already held (the uncached
+// allocator holds it across chunk selection and carving).
+func (m *Manager) grantChunkLocked(p *DataPath) (*chunk, error) {
 	m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
 	// An injected chunk-grant fault is indistinguishable from genuine
 	// region exhaustion: the kernel call was paid, no chunk arrives.
@@ -303,8 +415,10 @@ func (m *Manager) grantChunk(p *DataPath) (*chunk, error) {
 
 // releaseChunk returns a fully drained chunk to the kernel.
 func (m *Manager) releaseChunk(c *chunk) {
+	m.regionMu.Lock()
 	m.chunks[c.index] = nil
 	m.freeChunks = append(m.freeChunks, c.index)
+	m.regionMu.Unlock()
 }
 
 // fbufAt finds the fbuf containing va, whether path-owned or uncached.
@@ -313,10 +427,14 @@ func (m *Manager) fbufAt(va vm.VA) *Fbuf {
 		return nil
 	}
 	idx := int((va - RegionBase) / vm.VA(m.chunkPages*machine.PageSize))
+	m.regionMu.Lock()
 	c := m.chunks[idx]
+	m.regionMu.Unlock()
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, f := range c.fbufs {
 		if f.Contains(va) {
 			return f
@@ -333,21 +451,24 @@ func (m *Manager) fault(as *vm.AddrSpace, va vm.VA, write bool) error {
 		return fmt.Errorf("unattached address space")
 	}
 	f := m.fbufAt(va)
-	if f == nil || f.state == StateFree && !f.opts.Cached {
+	if f == nil || f.loadState() == StateFree && !f.opts.Cached {
 		return m.volatileLeafOrError(as, va, write, "no fbuf at address")
 	}
+	f.mu.Lock()
 	// Does this domain have rights to the fbuf?
 	hasRights := f.refs[d.ID] > 0 || d == f.Originator ||
 		(f.opts.Cached && f.mapped[d.ID]) // cached mappings persist across free
 	if !hasRights {
+		f.mu.Unlock()
 		return m.volatileLeafOrError(as, va, write, "no permission")
 	}
-	if write && (d != f.Originator || f.secured) {
+	if write && (d != f.Originator || f.isSecured()) {
+		f.mu.Unlock()
 		return fmt.Errorf("fbuf is immutable to %s", d)
 	}
 	page := int((va - f.Base) / machine.PageSize)
 	prot := vm.ProtRead
-	if d == f.Originator && !f.secured {
+	if d == f.Originator && !f.isSecured() {
 		prot = vm.ReadWrite
 	}
 	if f.frames[page] == mem.NoFrame {
@@ -355,13 +476,15 @@ func (m *Manager) fault(as *vm.AddrSpace, va vm.VA, write bool) error {
 		// and, for security, clear the frame unless it is known-zero.
 		fn, err := m.allocFrame(f, false)
 		if err != nil {
+			f.mu.Unlock()
 			return err
 		}
 		f.frames[page] = fn
 		as.Map(f.Base+vm.VA(page*machine.PageSize), fn, prot)
-		m.stats.LazyRefills++
+		atomic.AddUint64(&m.stats.LazyRefills, 1)
 		m.emit(obs.EvMappingBuilt, d, f, int64(page))
 		f.mapped[d.ID] = true
+		f.mu.Unlock()
 		return nil
 	}
 	// Frame exists but this domain's PTE is missing (e.g. mapping was
@@ -370,6 +493,7 @@ func (m *Manager) fault(as *vm.AddrSpace, va vm.VA, write bool) error {
 	as.Map(f.Base+vm.VA(page*machine.PageSize), f.frames[page], prot)
 	m.emit(obs.EvMappingBuilt, d, f, int64(page))
 	f.mapped[d.ID] = true
+	f.mu.Unlock()
 	return nil
 }
 
@@ -380,9 +504,11 @@ func (m *Manager) volatileLeafOrError(as *vm.AddrSpace, va vm.VA, write bool, ca
 	if write {
 		return fmt.Errorf("fbuf region write: %s", cause)
 	}
+	m.regionMu.Lock()
 	if m.emptyLeafFrame == mem.NoFrame {
 		fn, err := m.Sys.Mem.Alloc()
 		if err != nil {
+			m.regionMu.Unlock()
 			return err
 		}
 		m.Sys.Sink().Charge(m.Sys.Cost.FrameAlloc + m.Sys.Cost.PageClear)
@@ -392,6 +518,8 @@ func (m *Manager) volatileLeafOrError(as *vm.AddrSpace, va vm.VA, write bool, ca
 		}
 		m.emptyLeafFrame = fn
 	}
-	as.Map(va.PageBase(), m.emptyLeafFrame, vm.ProtRead)
+	leaf := m.emptyLeafFrame
+	m.regionMu.Unlock()
+	as.Map(va.PageBase(), leaf, vm.ProtRead)
 	return nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"fbufs/internal/domain"
 	"fbufs/internal/faults"
@@ -30,13 +32,20 @@ type DataPath struct {
 	opts      Options
 	fbufPages int
 
+	// mu guards the shared allocator state: the free list, the chunk
+	// list, the closed flag, and Allocated. It is the path's one shared
+	// lock; per-worker magazines exist to keep steady-state alloc/free
+	// off it entirely. Acquire through lock()/unlock() so contention is
+	// counted.
+	mu     sync.Mutex
 	free   []*Fbuf // LIFO: most recently freed first (most likely resident)
 	chunks []*chunk
 	quota  int // max chunks; 0 = manager default, negative = unlimited
 
 	closed bool
 
-	// Stats
+	// Stats. Allocated is guarded by mu (read it via AllocatedCount
+	// during concurrent operation).
 	Allocated uint64
 
 	// Cached per-path metric handles, resolved on first observed use.
@@ -107,8 +116,40 @@ func (p *DataPath) Quota() int {
 	return q
 }
 
+// lock acquires the path's shared allocator lock, counting traffic and
+// contention (a failed TryLock means another worker held the lock).
+func (p *DataPath) lock() {
+	atomic.AddUint64(&p.mgr.contention.LockAcquires, 1)
+	if p.mu.TryLock() {
+		return
+	}
+	atomic.AddUint64(&p.mgr.contention.LockContended, 1)
+	p.mu.Lock()
+}
+
+func (p *DataPath) unlock() { p.mu.Unlock() }
+
+// isClosed reads the closed flag under the path lock.
+func (p *DataPath) isClosed() bool {
+	p.lock()
+	defer p.unlock()
+	return p.closed
+}
+
 // FreeListLen returns the current free-list depth (tests, reclamation).
-func (p *DataPath) FreeListLen() int { return len(p.free) }
+func (p *DataPath) FreeListLen() int {
+	p.lock()
+	defer p.unlock()
+	return len(p.free)
+}
+
+// AllocatedCount returns the path's lifetime allocation count under the
+// path lock (the concurrency-safe read of the Allocated field).
+func (p *DataPath) AllocatedCount() uint64 {
+	p.lock()
+	defer p.unlock()
+	return p.Allocated
+}
 
 // metricPrefix names this path's metrics uniquely across hosts.
 func (p *DataPath) metricPrefix() string {
@@ -132,7 +173,7 @@ func (p *DataPath) ensureMetrics(o *obs.Observer) {
 // path's current chunk, requesting a new chunk from the kernel when needed.
 func (p *DataPath) Alloc() (*Fbuf, error) {
 	m := p.mgr
-	if p.closed {
+	if p.isClosed() {
 		return nil, ErrPathClosed
 	}
 	if p.Originator().Dead() {
@@ -144,7 +185,7 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	// Alloc boundary, ahead of the free list, so a drought can be injected
 	// even while previously-carved buffers are circulating.
 	if m.Sys.FaultPlane.Should(faults.PathAlloc) {
-		m.stats.AllocFailures++
+		atomic.AddUint64(&m.stats.AllocFailures, 1)
 		m.emit(obs.EvAllocFailed, p.Originator(), nil, 0)
 		return nil, ErrQuota
 	}
@@ -153,7 +194,8 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	if o != nil {
 		t0 = o.Now()
 	}
-	m.stats.Allocs++
+	p.lock()
+	atomic.AddUint64(&m.stats.Allocs, 1)
 	p.Allocated++
 	if p.opts.Cached {
 		if n := len(p.free); n > 0 {
@@ -165,51 +207,55 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 				f = p.free[n-1]
 				p.free = p.free[:n-1]
 			}
+			depth := len(p.free)
+			p.unlock()
 			if m.san != nil {
 				m.san.verifyReuse(f)
 			}
-			m.stats.CacheHits++
-			f.state = StateLive
-			f.refs[p.Originator().ID] = 1
-			f.gen++
-			p.observeAlloc(o, f, t0, true)
+			atomic.AddUint64(&m.stats.CacheHits, 1)
+			f.resetLive(p.Originator())
+			p.observeAlloc(o, f, t0, true, depth)
 			return f, nil
 		}
 	}
 	// Both the cached miss and the uncached path pay the full carve.
-	m.stats.CacheMisses++
-	f, err := p.carve()
+	atomic.AddUint64(&m.stats.CacheMisses, 1)
+	depth := len(p.free)
+	f, err := p.carveLocked()
 	if err != nil {
 		if IsAllocFailure(err) {
-			m.stats.AllocFailures++
+			atomic.AddUint64(&m.stats.AllocFailures, 1)
 			m.emit(obs.EvAllocFailed, p.Originator(), nil, 0)
 		}
 		return nil, err
 	}
-	p.observeAlloc(o, f, t0, false)
+	p.observeAlloc(o, f, t0, false, depth)
 	return f, nil
 }
 
 // observeAlloc emits the allocation events and samples the path's
 // alloc-latency histogram; o == nil (tracing disabled) costs one branch.
-func (p *DataPath) observeAlloc(o *obs.Observer, f *Fbuf, t0 simtime.Time, hit bool) {
+// depth is the free-list depth captured under the path lock.
+func (p *DataPath) observeAlloc(o *obs.Observer, f *Fbuf, t0 simtime.Time, hit bool, depth int) {
 	if o == nil {
 		return
 	}
 	m := p.mgr
 	m.emit(obs.EvAlloc, p.Originator(), f, int64(f.Pages))
 	if hit {
-		m.emit(obs.EvCacheHit, p.Originator(), f, int64(len(p.free)))
+		m.emit(obs.EvCacheHit, p.Originator(), f, int64(depth))
 	} else {
 		m.emit(obs.EvCacheMiss, p.Originator(), f, 0)
 	}
 	p.ensureMetrics(o)
 	p.allocHist.Observe(int64(o.Now() - t0))
-	p.depthGauge.Set(int64(len(p.free)))
+	p.depthGauge.Set(int64(depth))
 }
 
-// carve builds a brand-new fbuf from chunk space.
-func (p *DataPath) carve() (*Fbuf, error) {
+// carveLocked builds a brand-new fbuf from chunk space. It is called with
+// the path lock held and releases it before population work, whose failure
+// rollback re-enters the recycle machinery (which takes the lock itself).
+func (p *DataPath) carveLocked() (*Fbuf, error) {
 	m := p.mgr
 	var c *chunk
 	for _, cc := range p.chunks {
@@ -220,11 +266,13 @@ func (p *DataPath) carve() (*Fbuf, error) {
 	}
 	if c == nil {
 		if q := p.Quota(); q > 0 && len(p.chunks) >= q {
+			p.unlock()
 			return nil, ErrQuota
 		}
 		var err error
 		c, err = m.grantChunk(p)
 		if err != nil {
+			p.unlock()
 			return nil, err
 		}
 		p.chunks = append(p.chunks, c)
@@ -236,27 +284,122 @@ func (p *DataPath) carve() (*Fbuf, error) {
 		Originator: p.Originator(),
 		mgr:        m,
 		opts:       p.opts,
-		state:      StateLive,
 		frames:     make([]mem.FrameNum, p.fbufPages),
 		refs:       map[domain.ID]int{p.Originator().ID: 1},
 		mapped:     map[domain.ID]bool{},
 	}
+	f.st.Store(uint32(StateLive))
+	f.total.Store(1)
 	for i := range f.frames {
 		f.frames[i] = mem.NoFrame
 	}
 	c.used += p.fbufPages
+	c.mu.Lock()
 	c.fbufs = append(c.fbufs, f)
+	c.mu.Unlock()
+	p.unlock()
 	m.emit(obs.EvCarve, p.Originator(), f, int64(p.fbufPages))
 	if p.opts.Populate {
 		if err := m.populate(f); err != nil {
 			// Partial population (physical memory exhausted): release
 			// what was attached rather than leaking a live fbuf.
+			f.mu.Lock()
 			f.refs = map[domain.ID]int{}
+			f.mu.Unlock()
+			f.total.Store(0)
 			m.recycle(f)
 			return nil, err
 		}
 	}
 	return f, nil
+}
+
+// AllocBatch fills out with len(out) freshly allocated fbufs, amortizing
+// one path-lock acquisition over all the cached free-list pops: per-fbuf
+// events, stats, and fault-plane consultations are identical to calling
+// Alloc in a loop, but k steady-state allocations cost one shared-lock
+// round trip instead of k. Slots that cannot be served from the free list
+// fall through to the normal carve path. It returns the number of slots
+// filled; on error the first n slots remain allocated, exactly like a
+// caller's Alloc loop that stops at the failure.
+func (p *DataPath) AllocBatch(out []*Fbuf) (int, error) {
+	m := p.mgr
+	if len(out) == 0 {
+		return 0, nil
+	}
+	if p.isClosed() {
+		return 0, ErrPathClosed
+	}
+	if p.Originator().Dead() {
+		return 0, ErrDeadDomain
+	}
+	o := m.Sys.Obs
+	var t0 simtime.Time
+	if o != nil {
+		t0 = o.Now()
+	}
+	filled := 0
+	if p.opts.Cached {
+		type popped struct {
+			f     *Fbuf
+			depth int
+		}
+		var pops []popped
+		var ferr error
+		p.lock()
+		if p.closed {
+			p.unlock()
+			return 0, ErrPathClosed
+		}
+		for len(pops) < len(out) && len(p.free) > 0 {
+			// Per-item fault consultation, same stream order as an
+			// Alloc loop (the plane never observes events, so batching
+			// cannot shift any fault schedule).
+			if m.Sys.FaultPlane.Should(faults.PathAlloc) {
+				ferr = ErrQuota
+				break
+			}
+			atomic.AddUint64(&m.stats.Allocs, 1)
+			p.Allocated++
+			var f *Fbuf
+			if p.opts.FIFO {
+				f = p.free[0]
+				p.free = p.free[1:]
+			} else {
+				f = p.free[len(p.free)-1]
+				p.free = p.free[:len(p.free)-1]
+			}
+			pops = append(pops, popped{f, len(p.free)})
+		}
+		p.unlock()
+		// Reuse verification, state reset, and events happen outside the
+		// lock, in pop order.
+		for _, pp := range pops {
+			if m.san != nil {
+				m.san.verifyReuse(pp.f)
+			}
+			atomic.AddUint64(&m.stats.CacheHits, 1)
+			pp.f.resetLive(p.Originator())
+			p.observeAlloc(o, pp.f, t0, true, pp.depth)
+			out[filled] = pp.f
+			filled++
+		}
+		if ferr != nil {
+			atomic.AddUint64(&m.stats.AllocFailures, 1)
+			m.emit(obs.EvAllocFailed, p.Originator(), nil, 0)
+			return filled, ferr
+		}
+	}
+	// Remaining slots pay the full carve (or are uncached).
+	for filled < len(out) {
+		f, err := p.Alloc()
+		if err != nil {
+			return filled, err
+		}
+		out[filled] = f
+		filled++
+	}
+	return filled, nil
 }
 
 // AllocUncached allocates from the default allocator: an fbuf belonging to
@@ -286,12 +429,15 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 		return nil, fmt.Errorf("core: uncached fbuf size %d pages outside (0,%d]", pages, m.chunkPages)
 	}
 	opts.Cached = false
-	m.stats.Allocs++
-	m.stats.CacheMisses++
+	atomic.AddUint64(&m.stats.Allocs, 1)
+	atomic.AddUint64(&m.stats.CacheMisses, 1)
 	// The default allocator draws VA space chunk-at-a-time too, but each
 	// uncached fbuf gets a fresh chunk slot lifecycle: we allocate a VA
-	// range (charged) within a kernel-owned chunk.
+	// range (charged) within a kernel-owned chunk. The whole selection and
+	// carve runs under regionMu — the default allocator is the kernel's
+	// own, so it is serialized like any kernel service.
 	m.Sys.Sink().Charge(m.Sys.Cost.VAAlloc)
+	m.regionMu.Lock()
 	var c *chunk
 	for _, cc := range m.chunks {
 		if cc != nil && cc.owner == nil && cc.used+pages <= m.chunkPages {
@@ -301,10 +447,11 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 	}
 	if c == nil {
 		var err error
-		c, err = m.grantChunk(nil)
+		c, err = m.grantChunkLocked(nil)
 		if err != nil {
+			m.regionMu.Unlock()
 			if IsAllocFailure(err) {
-				m.stats.AllocFailures++
+				atomic.AddUint64(&m.stats.AllocFailures, 1)
 				m.emit(obs.EvAllocFailed, orig, nil, 0)
 			}
 			return nil, err
@@ -316,25 +463,32 @@ func (m *Manager) AllocUncachedFill(orig *domain.Domain, pages int, opts Options
 		Originator: orig,
 		mgr:        m,
 		opts:       opts,
-		state:      StateLive,
 		frames:     make([]mem.FrameNum, pages),
 		refs:       map[domain.ID]int{orig.ID: 1},
 		mapped:     map[domain.ID]bool{},
 	}
+	f.st.Store(uint32(StateLive))
+	f.total.Store(1)
 	for i := range f.frames {
 		f.frames[i] = mem.NoFrame
 	}
 	c.used += pages
+	c.mu.Lock()
 	c.fbufs = append(c.fbufs, f)
+	c.mu.Unlock()
 	m.uncached[f.Base] = f
+	m.regionMu.Unlock()
 	m.emit(obs.EvAlloc, orig, f, int64(pages))
 	m.emit(obs.EvCacheMiss, orig, f, 0)
 	if opts.Populate {
 		if err := m.populateFill(f, fill); err != nil {
+			f.mu.Lock()
 			f.refs = map[domain.ID]int{}
+			f.mu.Unlock()
+			f.total.Store(0)
 			m.recycle(f)
 			if IsAllocFailure(err) {
-				m.stats.AllocFailures++
+				atomic.AddUint64(&m.stats.AllocFailures, 1)
 				m.emit(obs.EvAllocFailed, orig, nil, 0)
 			}
 			return nil, err
@@ -354,6 +508,8 @@ func (m *Manager) populate(f *Fbuf) error { return m.populateFill(f, 0) }
 // within the first fill bytes will be fully overwritten and skip clearing.
 func (m *Manager) populateFill(f *Fbuf, fill int) error {
 	as := f.Originator.AS
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for i := range f.frames {
 		if f.frames[i] != mem.NoFrame {
 			continue
@@ -408,10 +564,10 @@ func (m *Manager) releaseFrames(f *Fbuf) {
 // into the receiver happens only if the receiver has no (possibly cached)
 // mapping already — the cached steady state transfers with zero VM work.
 func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
-	if f.state != StateLive {
-		return fmt.Errorf("core: transfer of %s fbuf %#x", f.state, uint64(f.Base))
+	if s := f.loadState(); s != StateLive {
+		return fmt.Errorf("core: transfer of %s fbuf %#x", s, uint64(f.Base))
 	}
-	if f.refs[from.ID] == 0 {
+	if !f.HeldBy(from) {
 		return ErrNotHolder
 	}
 	if to.Dead() {
@@ -425,11 +581,11 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 	if o != nil {
 		t0 = o.Now()
 	}
-	m.stats.Transfers++
+	atomic.AddUint64(&m.stats.Transfers, 1)
 	m.emit(obs.EvTransfer, from, f, int64(to.ID)+int64(m.Sys.TraceBase))
 	// Eager immutability enforcement for non-volatile fbufs — a no-op
 	// when the originator is trusted (the kernel), matching section 2.1.3.
-	if !f.opts.Volatile && !f.secured && from == f.Originator && !f.Originator.Trusted {
+	if !f.opts.Volatile && !f.isSecured() && from == f.Originator && !f.Originator.Trusted {
 		m.secure(f)
 	}
 	// Receiver mapping policy: a non-integrated transfer passes the fbuf
@@ -439,6 +595,7 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 	// by page faults on first touch, which is why a domain that never
 	// touches the message body (the paper's UDP-in-netserver case) pays
 	// no mapping cost whatsoever.
+	f.mu.Lock()
 	if from != to && !f.mapped[to.ID] && !f.opts.Integrated {
 		prot := vm.ProtRead
 		for i := 0; i < f.Pages; i++ {
@@ -446,12 +603,14 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 				continue // lazy: receiver faults will fill
 			}
 			to.AS.Map(f.Base+vm.VA(i*machine.PageSize), f.frames[i], prot)
-			m.stats.MappingsBuilt++
+			atomic.AddUint64(&m.stats.MappingsBuilt, 1)
 			m.emit(obs.EvMappingBuilt, to, f, int64(i))
 		}
 		f.mapped[to.ID] = true
 	}
 	f.refs[to.ID]++
+	f.mu.Unlock()
+	f.total.Add(1)
 	if o != nil && f.Path != nil {
 		f.Path.ensureMetrics(o)
 		f.Path.hopHist.Observe(int64(o.Now() - t0))
@@ -464,13 +623,17 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 // messages referencing the same fbuf. It is free: reference counts are
 // per-domain state, not VM state.
 func (m *Manager) DupRef(f *Fbuf, d *domain.Domain) error {
-	if f.state != StateLive {
-		return fmt.Errorf("core: dupref of %s fbuf", f.state)
+	if s := f.loadState(); s != StateLive {
+		return fmt.Errorf("core: dupref of %s fbuf", s)
 	}
+	f.mu.Lock()
 	if f.refs[d.ID] == 0 {
+		f.mu.Unlock()
 		return ErrNotHolder
 	}
 	f.refs[d.ID]++
+	f.mu.Unlock()
+	f.total.Add(1)
 	return nil
 }
 
@@ -483,13 +646,13 @@ func (m *Manager) FbufAt(va vm.VA) *Fbuf { return m.fbufAt(va) }
 // receiver's request (the lazy alternative for volatile fbufs). It is a
 // no-op when the originator is trusted or the fbuf is already secured.
 func (m *Manager) Secure(f *Fbuf, requester *domain.Domain) error {
-	if f.state != StateLive {
-		return fmt.Errorf("core: secure of %s fbuf", f.state)
+	if s := f.loadState(); s != StateLive {
+		return fmt.Errorf("core: secure of %s fbuf", s)
 	}
-	if f.refs[requester.ID] == 0 {
+	if !f.HeldBy(requester) {
 		return ErrNotHolder
 	}
-	if f.secured || f.Originator.Trusted {
+	if f.isSecured() || f.Originator.Trusted {
 		return nil
 	}
 	m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
@@ -497,17 +660,21 @@ func (m *Manager) Secure(f *Fbuf, requester *domain.Domain) error {
 	return nil
 }
 
-// secure removes the originator's write permission page by page.
+// secure removes the originator's write permission page by page. Two
+// workers racing here both walk the pages (idempotent SetProt) and both
+// set the secured bit; the protection state converges either way.
 func (m *Manager) secure(f *Fbuf) {
 	as := f.Originator.AS
+	f.mu.Lock()
 	for i := 0; i < f.Pages; i++ {
 		if f.frames[i] == mem.NoFrame {
 			continue
 		}
 		as.SetProt(f.Base+vm.VA(i*machine.PageSize), vm.ProtRead)
 	}
-	f.secured = true
-	m.stats.Secures++
+	f.mu.Unlock()
+	f.setSecured(true)
+	atomic.AddUint64(&m.stats.Secures, 1)
 	m.emit(obs.EvSecure, f.Originator, f, int64(f.Pages))
 }
 
@@ -517,48 +684,85 @@ func (m *Manager) secure(f *Fbuf) {
 // deallocation notice reaches the owning domain (piggybacked on the next
 // RPC reply, or pushed explicitly when too many accumulate).
 func (m *Manager) Free(f *Fbuf, d *domain.Domain) error {
-	if f.state != StateLive {
-		return fmt.Errorf("core: free of %s fbuf %#x", f.state, uint64(f.Base))
+	return m.freeOne(f, d, nil)
+}
+
+// FreeBatch drops one of d's references on each fbuf, amortizing shared-lock
+// traffic over the batch: per-fbuf events, stats, notice behavior, and
+// recycle order are identical to calling Free on each fbuf in sequence, but
+// recycles landing on one cached path's free list are pushed together under
+// a single path-lock acquisition. On the first error the batch stops (like a
+// caller's Free loop would), with earlier fbufs already freed.
+func (m *Manager) FreeBatch(fs []*Fbuf, d *domain.Domain) error {
+	var batch recycleBatch
+	for _, f := range fs {
+		if err := m.freeOne(f, d, &batch); err != nil {
+			m.flushRecycleBatch(&batch)
+			return err
+		}
 	}
+	m.flushRecycleBatch(&batch)
+	return nil
+}
+
+// freeOne is Free with optional recycle batching (batch may be nil).
+func (m *Manager) freeOne(f *Fbuf, d *domain.Domain, batch *recycleBatch) error {
+	if s := f.loadState(); s != StateLive {
+		return fmt.Errorf("core: free of %s fbuf %#x", s, uint64(f.Base))
+	}
+	f.mu.Lock()
 	if f.refs[d.ID] == 0 {
+		f.mu.Unlock()
 		return ErrNotHolder
 	}
-	m.stats.Frees++
+	atomic.AddUint64(&m.stats.Frees, 1)
 	m.emit(obs.EvFree, d, f, 0)
 	f.refs[d.ID]--
+	f.total.Add(-1)
 	if f.refs[d.ID] == 0 {
 		delete(f.refs, d.ID)
 		// Uncached fbufs tear down the receiver mapping as soon as the
 		// receiver is done (cached ones keep it for reuse).
 		if !f.opts.Cached && d != f.Originator && f.mapped[d.ID] {
-			m.unmapFrom(f, d)
+			m.unmapFromLocked(f, d)
 		}
 	}
-	if len(f.refs) > 0 {
+	last := len(f.refs) == 0
+	f.mu.Unlock()
+	if !last {
 		return nil
 	}
 	// Last reference anywhere. The notice indirection exists so the
 	// owning domain's allocator learns about the free; when there is no
 	// live owning allocator to inform (default-allocator fbufs, dead
 	// originator, closed path) the kernel recycles directly.
-	if d == f.Originator || f.Path == nil || f.Originator.Dead() || f.Path.closed {
-		m.recycle(f)
+	if d == f.Originator || f.Path == nil || f.Originator.Dead() || f.Path.isClosed() {
+		m.recycleB(f, batch)
 		return nil
 	}
-	f.state = StateDrainingNotice
+	f.setState(StateDrainingNotice)
 	k := noticeKey{holder: d.ID, owner: f.Originator.ID}
+	m.noticeMu.Lock()
 	m.notices[k] = append(m.notices[k], f)
-	m.stats.NoticesQueued++
-	m.emit(obs.EvNoticeQueued, d, f, int64(len(m.notices[k])))
-	if len(m.notices[k]) >= m.NoticeLimit {
+	n := len(m.notices[k])
+	var overflow []*Fbuf
+	if n >= m.NoticeLimit {
+		overflow = m.notices[k]
+		delete(m.notices, k)
+	}
+	m.noticeMu.Unlock()
+	atomic.AddUint64(&m.stats.NoticesQueued, 1)
+	m.emit(obs.EvNoticeQueued, d, f, int64(n))
+	if overflow != nil {
 		// Explicit notification message: costs a kernel call's worth
 		// of work on this host (it is an intra-host message).
 		m.Sys.Sink().Charge(m.Sys.Cost.KernelCall)
-		batch := len(m.notices[k])
-		m.stats.NoticesExplicit += uint64(batch)
-		m.emit(obs.EvNoticeExplicit, d, nil, int64(batch))
-		m.observeNoticeBatch(batch)
-		m.deliver(k)
+		atomic.AddUint64(&m.stats.NoticesExplicit, uint64(len(overflow)))
+		m.emit(obs.EvNoticeExplicit, d, nil, int64(len(overflow)))
+		m.observeNoticeBatch(len(overflow))
+		for _, ff := range overflow {
+			m.recycle(ff)
+		}
 	}
 	return nil
 }
@@ -567,12 +771,14 @@ func (m *Manager) Free(f *Fbuf, d *domain.Domain) error {
 // `replier` back to `caller`, any deallocation notices held at the replier
 // for fbufs owned by the caller ride along for free.
 func (m *Manager) DeliverNotices(replier, caller *domain.Domain) {
-	k := noticeKey{holder: replier.ID, owner: caller.ID}
-	if n := len(m.notices[k]); n > 0 {
-		m.stats.NoticesPiggy += uint64(n)
+	batch := m.popNotices(noticeKey{holder: replier.ID, owner: caller.ID})
+	if n := len(batch); n > 0 {
+		atomic.AddUint64(&m.stats.NoticesPiggy, uint64(n))
 		m.emit(obs.EvNoticePiggy, replier, nil, int64(n))
 		m.observeNoticeBatch(n)
-		m.deliver(k)
+		for _, f := range batch {
+			m.recycle(f)
+		}
 	}
 }
 
@@ -583,18 +789,32 @@ func (m *Manager) observeNoticeBatch(n int) {
 	}
 }
 
-func (m *Manager) deliver(k noticeKey) {
-	for _, f := range m.notices[k] {
-		m.recycle(f)
-	}
+// popNotices removes and returns the pending notice batch for k.
+func (m *Manager) popNotices(k noticeKey) []*Fbuf {
+	m.noticeMu.Lock()
+	b := m.notices[k]
 	delete(m.notices, k)
+	m.noticeMu.Unlock()
+	return b
+}
+
+// recycleBatch collects same-path cached recycles during FreeBatch so all
+// free-list pushes land under one path-lock acquisition. The path is
+// latched on the first eligible recycle; fbufs of other paths fall back to
+// immediate per-fbuf pushes.
+type recycleBatch struct {
+	path  *DataPath
+	fbufs []*Fbuf
 }
 
 // recycle returns an fbuf to its allocator. Cached fbufs go to the path's
 // LIFO free list with mappings intact and the originator's write permission
 // restored; uncached fbufs are fully torn down.
-func (m *Manager) recycle(f *Fbuf) {
-	m.stats.Recycles++
+func (m *Manager) recycle(f *Fbuf) { m.recycleB(f, nil) }
+
+// recycleB is recycle with optional free-list push batching (FreeBatch).
+func (m *Manager) recycleB(f *Fbuf, batch *recycleBatch) {
+	atomic.AddUint64(&m.stats.Recycles, 1)
 	m.emit(obs.EvRecycle, f.Originator, f, 0)
 	if m.san != nil {
 		// A free-listed fbuf being torn down (ClosePath, dead originator)
@@ -602,47 +822,99 @@ func (m *Manager) recycle(f *Fbuf) {
 		m.san.verifyReuse(f)
 	}
 	p := f.Path
-	if p != nil && p.opts.Cached && !p.closed && !f.Originator.Dead() {
-		if f.secured {
-			// "write permissions are returned to the originator"
-			as := f.Originator.AS
-			for i := 0; i < f.Pages; i++ {
-				if f.frames[i] == mem.NoFrame {
-					continue
-				}
-				as.SetProt(f.Base+vm.VA(i*machine.PageSize), vm.ReadWrite)
+	if p != nil && p.opts.Cached && !f.Originator.Dead() {
+		if batch != nil {
+			if batch.path == nil && !p.isClosed() {
+				batch.path = p
 			}
-			f.secured = false
+			if batch.path == p {
+				m.resetForFreeList(f)
+				if m.san != nil {
+					m.san.poisonFree(f)
+				}
+				batch.fbufs = append(batch.fbufs, f)
+				return
+			}
 		}
-		f.state = StateFree
-		f.refs = map[domain.ID]int{}
-		p.free = append(p.free, f) // LIFO push
-		if m.san != nil {
-			m.san.poisonFree(f)
+		p.lock()
+		if !p.closed {
+			m.resetForFreeList(f)
+			p.free = append(p.free, f) // LIFO push
+			depth := len(p.free)
+			if m.san != nil {
+				m.san.poisonFree(f)
+			}
+			p.unlock()
+			if o := m.Sys.Obs; o != nil {
+				p.ensureMetrics(o)
+				p.depthGauge.Set(int64(depth))
+			}
+			return
 		}
-		if o := m.Sys.Obs; o != nil {
-			p.ensureMetrics(o)
-			p.depthGauge.Set(int64(len(p.free)))
-		}
-		return
+		p.unlock()
 	}
 	// Full teardown (uncached, or path closed / originator dead).
+	f.mu.Lock()
 	for id := range f.mapped {
 		if d := m.domainByID(id); d != nil && !d.Dead() {
-			m.unmapFrom(f, d)
+			m.unmapFromLocked(f, d)
 		}
 	}
 	m.releaseFrames(f)
-	f.state = StateFree
 	f.refs = map[domain.ID]int{}
-	f.secured = false
+	f.mu.Unlock()
+	f.setState(StateFree)
+	f.total.Store(0)
+	f.setSecured(false)
 	m.Sys.Sink().Charge(m.Sys.Cost.VAFree)
 	m.removeFromChunk(f)
 }
 
-// unmapFrom tears down all of the fbuf's PTEs in d. The fbuf's own frame
-// references keep the frames alive.
-func (m *Manager) unmapFrom(f *Fbuf, d *domain.Domain) {
+// resetForFreeList restores the originator's write permission and resets
+// the fbuf to its free-list state. The caller owns the fbuf exclusively
+// (its last reference was just dropped).
+func (m *Manager) resetForFreeList(f *Fbuf) {
+	if f.isSecured() {
+		// "write permissions are returned to the originator"
+		as := f.Originator.AS
+		f.mu.Lock()
+		for i := 0; i < f.Pages; i++ {
+			if f.frames[i] == mem.NoFrame {
+				continue
+			}
+			as.SetProt(f.Base+vm.VA(i*machine.PageSize), vm.ReadWrite)
+		}
+		f.mu.Unlock()
+		f.setSecured(false)
+	}
+	f.setState(StateFree)
+	f.mu.Lock()
+	f.refs = map[domain.ID]int{}
+	f.mu.Unlock()
+	f.total.Store(0)
+}
+
+// flushRecycleBatch pushes all deferred recycles onto the latched path's
+// free list under one lock acquisition.
+func (m *Manager) flushRecycleBatch(b *recycleBatch) {
+	if b.path == nil || len(b.fbufs) == 0 {
+		return
+	}
+	p := b.path
+	p.lock()
+	p.free = append(p.free, b.fbufs...) // LIFO push, batch order preserved
+	depth := len(p.free)
+	p.unlock()
+	b.fbufs = nil
+	if o := m.Sys.Obs; o != nil {
+		p.ensureMetrics(o)
+		p.depthGauge.Set(int64(depth))
+	}
+}
+
+// unmapFromLocked tears down all of the fbuf's PTEs in d. The fbuf's own
+// frame references keep the frames alive. Called with f.mu held.
+func (m *Manager) unmapFromLocked(f *Fbuf, d *domain.Domain) {
 	for i := 0; i < f.Pages; i++ {
 		if f.frames[i] == mem.NoFrame {
 			continue
@@ -653,31 +925,41 @@ func (m *Manager) unmapFrom(f *Fbuf, d *domain.Domain) {
 }
 
 // removeFromChunk retires a torn-down fbuf; when its chunk drains the chunk
-// returns to the kernel.
+// returns to the kernel. Locks are taken one at a time (region table, chunk
+// directory, owning path), never nested, so the call participates in no
+// lock-order cycle.
 func (m *Manager) removeFromChunk(f *Fbuf) {
-	delete(m.uncached, f.Base)
 	idx := int((f.Base - RegionBase) / vm.VA(m.chunkPages*machine.PageSize))
+	m.regionMu.Lock()
+	delete(m.uncached, f.Base)
 	c := m.chunks[idx]
+	m.regionMu.Unlock()
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	for i, ff := range c.fbufs {
 		if ff == f {
 			c.fbufs = append(c.fbufs[:i], c.fbufs[i+1:]...)
 			break
 		}
 	}
-	if len(c.fbufs) == 0 {
-		if c.owner != nil {
-			for i, cc := range c.owner.chunks {
-				if cc == c {
-					c.owner.chunks = append(c.owner.chunks[:i], c.owner.chunks[i+1:]...)
-					break
-				}
+	drained := len(c.fbufs) == 0
+	c.mu.Unlock()
+	if !drained {
+		return
+	}
+	if c.owner != nil {
+		c.owner.lock()
+		for i, cc := range c.owner.chunks {
+			if cc == c {
+				c.owner.chunks = append(c.owner.chunks[:i], c.owner.chunks[i+1:]...)
+				break
 			}
 		}
-		m.releaseChunk(c)
+		c.owner.unlock()
 	}
+	m.releaseChunk(c)
 }
 
 func (m *Manager) domainByID(id domain.ID) *domain.Domain { return m.Reg.Get(id) }
@@ -692,8 +974,10 @@ func (m *Manager) domainByID(id domain.ID) *domain.Domain { return m.Reg.Get(id)
 func (m *Manager) ReclaimIdle(maxFrames int) int {
 	reclaimed := 0
 	for _, p := range m.paths {
+		p.lock()
 		for i := 0; i < len(p.free) && reclaimed < maxFrames; i++ {
 			f := p.free[i] // front = least recently freed under LIFO push-to-back
+			f.mu.Lock()
 			for pg := 0; pg < f.Pages && reclaimed < maxFrames; pg++ {
 				if f.frames[pg] == mem.NoFrame {
 					continue
@@ -712,13 +996,15 @@ func (m *Manager) ReclaimIdle(maxFrames int) int {
 				}
 				f.frames[pg] = mem.NoFrame
 				reclaimed++
-				m.stats.FramesReclaimed++
+				atomic.AddUint64(&m.stats.FramesReclaimed, 1)
 				m.emit(obs.EvFrameReclaimed, nil, f, int64(pg))
 			}
+			f.mu.Unlock()
 			if reclaimed >= maxFrames {
 				break
 			}
 		}
+		p.unlock()
 	}
 	return reclaimed
 }
@@ -731,27 +1017,50 @@ func (m *Manager) ReclaimIdle(maxFrames int) int {
 func (m *Manager) domainDied(d *domain.Domain) {
 	// Drop references held by the dying domain on every live fbuf.
 	visit := func(f *Fbuf) {
-		if f.state == StateLive && f.refs[d.ID] > 0 {
-			f.refs[d.ID] = 1 // collapse multiple refs; Free drops the last
+		f.mu.Lock()
+		held := f.loadState() == StateLive && f.refs[d.ID] > 0
+		if held {
+			// Collapse multiple refs to one; Free drops the last.
+			f.total.Add(-int64(f.refs[d.ID] - 1))
+			f.refs[d.ID] = 1
+		}
+		f.mu.Unlock()
+		if held {
 			if err := m.Free(f, d); err != nil {
 				panic("core: termination free failed: " + err.Error())
 			}
 		}
+		f.mu.Lock()
 		delete(f.mapped, d.ID)
+		f.mu.Unlock()
 	}
-	for _, c := range m.chunks {
+	m.regionMu.Lock()
+	chunks := append([]*chunk(nil), m.chunks...)
+	m.regionMu.Unlock()
+	for _, c := range chunks {
 		if c == nil {
 			continue
 		}
-		for _, f := range append([]*Fbuf(nil), c.fbufs...) {
+		c.mu.Lock()
+		fbufs := append([]*Fbuf(nil), c.fbufs...)
+		c.mu.Unlock()
+		for _, f := range fbufs {
 			visit(f)
 		}
 	}
 	// Deliver any notices stranded at the dying domain, and flush notices
 	// destined for it (its allocators are gone; the kernel recycles).
+	m.noticeMu.Lock()
+	var stranded []noticeKey
 	for k := range m.notices {
 		if k.holder == d.ID || k.owner == d.ID {
-			m.deliver(k)
+			stranded = append(stranded, k)
+		}
+	}
+	m.noticeMu.Unlock()
+	for _, k := range stranded {
+		for _, f := range m.popNotices(k) {
+			m.recycle(f)
 		}
 	}
 	// Close paths the domain participates in; free-listed fbufs of an
@@ -772,12 +1081,15 @@ func (m *Manager) domainDied(d *domain.Domain) {
 // the free list is torn down; live fbufs drain through the normal
 // free/notice flow and are then fully released because the path is closed.
 func (m *Manager) ClosePath(p *DataPath) {
+	p.lock()
 	if p.closed {
+		p.unlock()
 		return
 	}
 	p.closed = true
 	freeList := p.free
 	p.free = nil
+	p.unlock()
 	for _, f := range freeList {
 		m.recycle(f) // path closed: full teardown
 	}

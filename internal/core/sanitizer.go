@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
@@ -48,13 +49,18 @@ type SanitizerStats struct {
 	Violations    uint64
 }
 
-// Sanitizer is the per-manager fbsan state.
+// Sanitizer is the per-manager fbsan state. mu guards the poison records
+// and counters so the hooks stay sound under concurrent workers; it ranks
+// below the path and fbuf locks (poisonFree runs under the path lock) and
+// above the address-space lock (audit walks PTEs).
 type Sanitizer struct {
 	mgr *Manager
 	// OnViolation, when set, receives each violation message instead of
-	// the default panic — tests use it to assert a violation fired.
+	// the default panic — tests use it to assert a violation fired. Set
+	// it before concurrent operation starts.
 	OnViolation func(msg string)
 
+	mu       sync.Mutex
 	poisoned map[*Fbuf][]poisonPage
 	stats    SanitizerStats
 }
@@ -83,14 +89,24 @@ func (m *Manager) Sanitizer() *Sanitizer { return m.san }
 func (m *Manager) SanitizerEnabled() bool { return m.san != nil }
 
 // Stats returns a copy of the sanitizer counters.
-func (s *Sanitizer) Stats() SanitizerStats { return s.stats }
+func (s *Sanitizer) Stats() SanitizerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Violation reports a protocol violation: the OnViolation handler if
 // set, otherwise panic — a sanitizer hit is a caller bug, not an error
 // the protocol can recover from.
 func (s *Sanitizer) Violation(format string, args ...interface{}) {
+	s.mu.Lock()
 	s.stats.Violations++
-	msg := fmt.Sprintf(format, args...)
+	s.mu.Unlock()
+	s.dispatch(fmt.Sprintf(format, args...))
+}
+
+// dispatch delivers an already-counted violation message.
+func (s *Sanitizer) dispatch(msg string) {
 	if s.OnViolation != nil {
 		s.OnViolation(msg)
 		return
@@ -107,6 +123,8 @@ func canaryByte(page, i int) byte {
 // poisonFree canary-fills the populated pages of an fbuf entering a free
 // list, saving the previous contents for restoration at reuse.
 func (s *Sanitizer) poisonFree(f *Fbuf) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.poisoned[f]) > 0 {
 		return // already poisoned (defensive; recycle verifies first)
 	}
@@ -134,11 +152,14 @@ func (s *Sanitizer) poisonFree(f *Fbuf) {
 // possibly lazily refilled) are skipped: their contents were legitimately
 // discarded.
 func (s *Sanitizer) verifyReuse(f *Fbuf) {
+	s.mu.Lock()
 	recs, ok := s.poisoned[f]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
 	delete(s.poisoned, f)
+	var msgs []string
 	for _, rec := range recs {
 		if rec.page >= len(f.frames) || f.frames[rec.page] != rec.frame {
 			s.stats.SkippedPages++
@@ -148,12 +169,19 @@ func (s *Sanitizer) verifyReuse(f *Fbuf) {
 		s.stats.VerifiedPages++
 		for i := range data {
 			if data[i] != canaryByte(rec.page, i) {
-				s.Violation("use-after-free write to fbuf %#x page %d offset %d (canary %#x, found %#x): the buffer was modified while on the free list",
-					uint64(f.Base), rec.page, i, canaryByte(rec.page, i), data[i])
+				s.stats.Violations++
+				msgs = append(msgs, fmt.Sprintf("use-after-free write to fbuf %#x page %d offset %d (canary %#x, found %#x): the buffer was modified while on the free list",
+					uint64(f.Base), rec.page, i, canaryByte(rec.page, i), data[i]))
 				break
 			}
 		}
 		copy(data, rec.saved)
+	}
+	s.mu.Unlock()
+	// Dispatch after dropping mu: the handler may call back into the
+	// sanitizer (Stats, another check) and must not deadlock.
+	for _, msg := range msgs {
+		s.dispatch(msg)
 	}
 }
 
@@ -161,6 +189,8 @@ func (s *Sanitizer) verifyReuse(f *Fbuf) {
 // reclaimer is discarding, so a later reuse of the same frame number
 // cannot be mistaken for a use-after-free.
 func (s *Sanitizer) frameReclaimed(f *Fbuf, page int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	recs := s.poisoned[f]
 	for i, rec := range recs {
 		if rec.page == page {
@@ -175,25 +205,31 @@ func (s *Sanitizer) frameReclaimed(f *Fbuf, page int) {
 // bypasses the simulated MMU, so these are exactly the accesses no
 // protection fault will ever catch.
 func (s *Sanitizer) checkDMA(f *Fbuf, write bool) {
+	s.mu.Lock()
 	s.stats.DMAChecks++
+	s.mu.Unlock()
 	op := "read"
 	if write {
 		op = "write"
 	}
-	if f.state != StateLive {
-		s.Violation("DMA %s to %s fbuf %#x: devices must only touch live buffers", op, f.state, uint64(f.Base))
+	if st := f.loadState(); st != StateLive {
+		s.Violation("DMA %s to %s fbuf %#x: devices must only touch live buffers", op, st, uint64(f.Base))
 		return
 	}
-	if write && f.secured {
+	if write && f.isSecured() {
 		s.Violation("DMA write to secured fbuf %#x: the buffer is immutable; reprogramming the device after Secure is a driver bug", uint64(f.Base))
 	}
 }
 
 // audit is the shadow write-permission check plus a canary sweep of every
 // free-listed fbuf, run from Manager.CheckInvariants when fbsan is on.
+// Like CheckInvariants itself it requires quiescence: no in-flight data-
+// plane operations while the sweep walks chunks and PTEs.
 func (s *Sanitizer) audit() error {
-	s.stats.ShadowAudits++
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := s.mgr
+	s.stats.ShadowAudits++
 	for _, c := range m.chunks {
 		if c == nil {
 			continue
@@ -213,7 +249,7 @@ func (s *Sanitizer) audit() error {
 						return fmt.Errorf("fbsan: shadow audit: domain %s holds a writable PTE over fbuf %#x page %d it did not originate",
 							d.Name, uint64(f.Base), pg)
 					}
-					if f.secured {
+					if f.isSecured() {
 						return fmt.Errorf("fbsan: shadow audit: originator %s still writable over secured fbuf %#x page %d",
 							d.Name, uint64(f.Base), pg)
 					}

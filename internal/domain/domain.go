@@ -48,6 +48,13 @@ func (d *Domain) OnDeath(fn func(*Domain)) { d.deathHooks = append(d.deathHooks,
 func (d *Domain) String() string { return fmt.Sprintf("%s(%d)", d.Name, d.ID) }
 
 // Registry manages the domains of one host.
+//
+// Concurrency: domain lifecycle — New, Terminate, CrashPoint, OnDeath — is
+// control-plane and single-threaded by contract (see DESIGN.md §10); only
+// the data-plane fbuf operations run concurrently. Reads of an established
+// domain (Get, Dead, Trusted, the AS pointer) are safe from workers once
+// setup has completed, because nothing mutates those fields outside the
+// lifecycle calls.
 type Registry struct {
 	sys     *vm.System
 	domains map[ID]*Domain

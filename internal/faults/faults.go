@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fbufs/internal/simtime"
 )
@@ -141,7 +142,15 @@ func (lf *LinkFaults) AddPartition(from, until simtime.Time) {
 
 // Plane is the fault-injection plane. The zero value and nil are both
 // fully disabled; construct an active plane with NewPlane.
+//
+// Consultations mutate the random stream and counters, so they are
+// mutex-guarded: concurrent workers may share one plane, but then the
+// consultation order — and hence the fault schedule — depends on the
+// goroutine schedule. Deterministic fault injection requires the
+// single-threaded default mode. Configuration (SetRate, Link, AddPartition)
+// is control-plane setup, done before concurrent operation starts.
 type Plane struct {
+	mu  sync.Mutex
 	rng uint64 // splitmix64 state
 
 	rates     [numPoints]uint32 // per-million injection probability
@@ -187,6 +196,8 @@ func (p *Plane) Should(pt Point) bool {
 	if p == nil {
 		return false
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.consulted[pt]++
 	r := p.rates[pt]
 	if r == 0 {
@@ -204,6 +215,8 @@ func (p *Plane) Consulted(pt Point) uint64 {
 	if p == nil {
 		return 0
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.consulted[pt]
 }
 
@@ -212,6 +225,8 @@ func (p *Plane) Injected(pt Point) uint64 {
 	if p == nil {
 		return 0
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.injected[pt]
 }
 
@@ -239,6 +254,8 @@ func (p *Plane) LinkVerdict(id int, now simtime.Time) LinkAction {
 	if p == nil {
 		return Deliver
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	lf := p.links[id]
 	if lf == nil {
 		return Deliver
@@ -290,6 +307,8 @@ func (p *Plane) LinkSnapshot() []LinkStats {
 	if p == nil {
 		return nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ids := make([]int, 0, len(p.links))
 	for id := range p.links {
 		ids = append(ids, id)
@@ -318,10 +337,12 @@ func (p *Plane) Report() string {
 		return b.String()
 	}
 	b.WriteString("faults:\n")
+	p.mu.Lock()
 	for pt := Point(0); pt < numPoints; pt++ {
 		fmt.Fprintf(&b, "  point %-12s rate=%-7d consulted=%-8d injected=%d\n",
 			pt, p.rates[pt], p.consulted[pt], p.injected[pt])
 	}
+	p.mu.Unlock()
 	for _, ls := range p.LinkSnapshot() {
 		fmt.Fprintf(&b, "  link %d: pdus=%d", ls.Link, ls.PDUs)
 		for a := LinkAction(0); a < numLinkActions; a++ {

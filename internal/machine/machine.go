@@ -13,7 +13,11 @@
 // without touching mechanism code.
 package machine
 
-import "fbufs/internal/simtime"
+import (
+	"sync"
+
+	"fbufs/internal/simtime"
+)
 
 // PageSize is the virtual-memory page size in bytes. The paper's arithmetic
 // (asymptotic throughput = 4096*8 bits / per-page cost) pins this at 4 KB.
@@ -264,7 +268,12 @@ const TLBEntries = 64
 // close enough to the random replacement of the R3000 for the locality
 // effects the paper relies on (cached fbufs keep their entries hot; a third
 // domain's duplicated text evicts them).
+//
+// The TLB is shared hardware state, so its methods are mutex-guarded; in
+// the single-threaded default mode the lock is uncontended and the model's
+// hit/miss sequence is unchanged.
 type TLB struct {
+	mu       sync.Mutex
 	capacity int
 	present  map[tlbKey]int // value: slot index for eviction bookkeeping
 	order    []tlbKey       // FIFO of resident keys
@@ -288,6 +297,8 @@ func NewTLB(capacity int) *TLB {
 
 // Touch records an access to (asid, vpn) and reports whether it missed.
 func (t *TLB) Touch(asid int, vpn uint64) (missed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := tlbKey{asid, vpn}
 	if _, ok := t.present[k]; ok {
 		t.hits++
@@ -307,6 +318,8 @@ func (t *TLB) Touch(asid int, vpn uint64) (missed bool) {
 // Invalidate drops the entry for (asid, vpn) if present, as a protection
 // change or unmap must.
 func (t *TLB) Invalidate(asid int, vpn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := tlbKey{asid, vpn}
 	if _, ok := t.present[k]; !ok {
 		return
@@ -323,6 +336,8 @@ func (t *TLB) Invalidate(asid int, vpn uint64) {
 // InvalidateASID drops all entries belonging to an address space (domain
 // teardown, ASID recycling).
 func (t *TLB) InvalidateASID(asid int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	kept := t.order[:0]
 	for _, k := range t.order {
 		if k.asid == asid {
@@ -336,16 +351,24 @@ func (t *TLB) InvalidateASID(asid int) {
 
 // Flush empties the TLB.
 func (t *TLB) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.present = make(map[tlbKey]int)
 	t.order = t.order[:0]
 }
 
 // Stats returns cumulative hit and miss counts.
-func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+func (t *TLB) Stats() (hits, misses uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
 
 // Pollute evicts n entries (oldest first), modelling unrelated activity such
 // as duplicated library text competing for TLB slots.
 func (t *TLB) Pollute(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i := 0; i < n && len(t.order) > 0; i++ {
 		victim := t.order[0]
 		t.order = t.order[1:]

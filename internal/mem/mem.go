@@ -13,6 +13,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"fbufs/internal/machine"
 )
@@ -40,7 +41,15 @@ type Frame struct {
 var ErrOutOfMemory = errors.New("mem: out of physical memory")
 
 // PhysMem is a fixed-size pool of page frames.
+//
+// Concurrency contract: the pool bookkeeping (free list, refcounts, the
+// allocated count) is guarded by an internal mutex, so Alloc/AddRef/DecRef
+// may be called from concurrent workers. Frame *contents* (Data, Zeroed)
+// are caller-synchronized: a frame's bytes are owned by whoever holds a
+// mapping to it, exactly as on real hardware, and the simulator's upper
+// layers serialize access per fbuf.
 type PhysMem struct {
+	mu     sync.Mutex
 	frames []Frame
 	// free is a LIFO stack of free frame numbers. LIFO maximizes the
 	// chance a re-allocated frame is still cache- and zero-state-warm,
@@ -72,16 +81,26 @@ func New(nframes int) *PhysMem {
 func (pm *PhysMem) NumFrames() int { return len(pm.frames) }
 
 // FreeFrames returns the number of currently free frames.
-func (pm *PhysMem) FreeFrames() int { return len(pm.free) }
+func (pm *PhysMem) FreeFrames() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.free)
+}
 
 // Allocated returns the number of frames currently in use.
-func (pm *PhysMem) Allocated() int { return pm.allocated }
+func (pm *PhysMem) Allocated() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.allocated
+}
 
 // Alloc takes a frame from the free list with an initial reference count of
 // one. The frame's previous contents are preserved (clearing is an explicit,
 // costed operation — the paper charges 57 us to zero a page and fbuf caching
 // exists to avoid exactly that).
 func (pm *PhysMem) Alloc() (FrameNum, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	if len(pm.free) == 0 {
 		return NoFrame, ErrOutOfMemory
 	}
@@ -107,8 +126,18 @@ func (pm *PhysMem) Frame(fn FrameNum) *Frame {
 	return &pm.frames[fn]
 }
 
+// RefCount returns the frame's current mapping reference count under the
+// pool lock (the COW resolver's sharing test).
+func (pm *PhysMem) RefCount(fn FrameNum) int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.Frame(fn).RefCount
+}
+
 // AddRef increments a frame's reference count (a new mapping shares it).
 func (pm *PhysMem) AddRef(fn FrameNum) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	f := pm.Frame(fn)
 	if f.free {
 		panic(fmt.Sprintf("mem: AddRef on free frame %d", fn))
@@ -119,6 +148,8 @@ func (pm *PhysMem) AddRef(fn FrameNum) {
 // DecRef decrements a frame's reference count, returning it to the free
 // list when the count reaches zero. It reports whether the frame was freed.
 func (pm *PhysMem) DecRef(fn FrameNum) bool {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	f := pm.Frame(fn)
 	if f.free {
 		panic(fmt.Sprintf("mem: DecRef on free frame %d", fn))
@@ -179,8 +210,11 @@ func (pm *PhysMem) Read(fn FrameNum, offset int, buf []byte) {
 
 // CheckInvariants validates internal consistency: every frame is either on
 // the free list with refcount 0, or allocated with refcount > 0, and the
-// free list has no duplicates. Tests call this after operation sequences.
+// free list has no duplicates. Tests call this after operation sequences,
+// at quiescence (no concurrent pool mutation).
 func (pm *PhysMem) CheckInvariants() error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	onFree := make(map[FrameNum]bool, len(pm.free))
 	for _, fn := range pm.free {
 		if onFree[fn] {

@@ -5,22 +5,26 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically named count. All methods are safe on nil.
-type Counter struct{ v uint64 }
+// Counter is a monotonically named count. All methods are safe on nil and
+// safe for concurrent use (atomic); in the default single-threaded mode the
+// atomics are uncontended.
+type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -29,7 +33,7 @@ func (c *Counter) Add(n uint64) {
 // the single source of truth and no duplicate live count drifts.
 func (c *Counter) Set(v uint64) {
 	if c != nil {
-		c.v = v
+		c.v.Store(v)
 	}
 }
 
@@ -38,16 +42,16 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a named instantaneous value.
-type Gauge struct{ v int64 }
+// Gauge is a named instantaneous value. Safe for concurrent use (atomic).
+type Gauge struct{ v atomic.Int64 }
 
 // Set records the current value.
 func (g *Gauge) Set(v int64) {
 	if g != nil {
-		g.v = v
+		g.v.Store(v)
 	}
 }
 
@@ -56,7 +60,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // histBuckets is the bucket count: bucket 0 holds v <= 0, bucket i >= 1
@@ -64,8 +68,11 @@ func (g *Gauge) Value() int64 {
 const histBuckets = 65
 
 // Histogram is a log2-scale histogram of int64 samples (latencies in
-// simulated nanoseconds, batch sizes, depths).
+// simulated nanoseconds, batch sizes, depths). Observe and the read
+// accessors are guarded by a mutex so concurrent workers can share one
+// histogram; single-threaded runs pay only an uncontended lock.
 type Histogram struct {
+	mu       sync.Mutex
 	counts   [histBuckets]uint64
 	count    uint64
 	sum      int64
@@ -94,6 +101,7 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
 	h.counts[bucketOf(v)]++
 	if h.count == 0 || v < h.min {
 		h.min = v
@@ -103,6 +111,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
+	h.mu.Unlock()
 }
 
 // Count returns the number of samples.
@@ -110,12 +119,32 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.count
 }
 
+// snapshot copies out the histogram state under its lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		hs.Buckets = append(hs.Buckets, BucketCount{Lo: lo, Hi: hi, N: n})
+	}
+	return hs
+}
+
 // Registry holds named metrics. Accessors create on first use, so
-// instrumentation sites never need registration boilerplate.
+// instrumentation sites never need registration boilerplate. Lookup and
+// creation are guarded by a mutex; hot paths should cache the returned
+// metric pointer rather than re-resolving the name per operation.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -136,6 +165,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -149,6 +180,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -162,6 +195,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{}
@@ -204,22 +239,16 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for name, c := range r.counters {
-		s.Counters[name] = c.v
+		s.Counters[name] = c.Value()
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.v
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		for i, n := range h.counts {
-			if n == 0 {
-				continue
-			}
-			lo, hi := BucketBounds(i)
-			hs.Buckets = append(hs.Buckets, BucketCount{Lo: lo, Hi: hi, N: n})
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
 }
@@ -241,6 +270,8 @@ func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var names []string
 	for n := range r.counters {
 		names = append(names, n)

@@ -13,6 +13,8 @@
 package obs
 
 import (
+	"sync"
+
 	"fbufs/internal/simtime"
 )
 
@@ -108,8 +110,12 @@ type Event struct {
 }
 
 // Tracer is a bounded ring buffer of events. A nil *Tracer is valid and
-// ignores every call — the disabled fast path.
+// ignores every call — the disabled fast path. The ring is guarded by a
+// mutex so concurrent workers can emit into one tracer; interleaving of
+// events from different workers is scheduler-dependent, which is why the
+// deterministic-trace tests run in the single-threaded default mode.
 type Tracer struct {
+	mu    sync.Mutex
 	buf   []Event
 	next  int    // next write slot
 	n     int    // valid events, <= len(buf)
@@ -135,15 +141,23 @@ func NewTracer(capacity int) *Tracer {
 
 // SetNow installs the simulated-clock reader used to stamp events.
 func (t *Tracer) SetNow(fn func() simtime.Time) {
-	if t != nil {
-		t.now = fn
+	if t == nil {
+		return
 	}
+	t.mu.Lock()
+	t.now = fn
+	t.mu.Unlock()
 }
 
 // Emit records one event. Safe on a nil receiver (tracing disabled) and on
 // a zero-value Tracer not built via NewTracer (no ring: events are dropped).
 func (t *Tracer) Emit(kind EventKind, domain, path int, gen uint64, arg int64) {
-	if t == nil || len(t.buf) == 0 {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) == 0 {
+		t.mu.Unlock()
 		return
 	}
 	var at simtime.Time
@@ -159,6 +173,7 @@ func (t *Tracer) Emit(kind EventKind, domain, path int, gen uint64, arg int64) {
 		t.n++
 	}
 	t.total++
+	t.mu.Unlock()
 }
 
 // Count returns the number of events currently held.
@@ -166,6 +181,8 @@ func (t *Tracer) Count() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.n
 }
 
@@ -174,6 +191,8 @@ func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.total
 }
 
@@ -182,12 +201,14 @@ func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.total - uint64(t.n)
 }
 
-// Events returns the held events in emission order (oldest first).
-func (t *Tracer) Events() []Event {
-	if t == nil || t.n == 0 {
+// eventsLocked copies out the held events; t.mu must be held.
+func (t *Tracer) eventsLocked() []Event {
+	if t.n == 0 {
 		return nil
 	}
 	out := make([]Event, 0, t.n)
@@ -201,13 +222,25 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// Events returns the held events in emission order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eventsLocked()
+}
+
 // Since returns the events emitted at or after sequence number seq (as
 // returned by Total before an operation) that are still in the buffer.
 func (t *Tracer) Since(seq uint64) []Event {
 	if t == nil {
 		return nil
 	}
-	evs := t.Events()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := t.eventsLocked()
 	first := t.total - uint64(len(evs)) // sequence number of evs[0]
 	if seq <= first {
 		return evs
@@ -223,10 +256,12 @@ func (t *Tracer) SetActor(id int, name string) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	if t.actors == nil {
 		t.actors = make(map[int]string)
 	}
 	t.actors[id] = name
+	t.mu.Unlock()
 }
 
 // SetTrack names a trace track (a data path) for the exporters.
@@ -234,16 +269,21 @@ func (t *Tracer) SetTrack(id int, name string) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	if t.tracks == nil {
 		t.tracks = make(map[int]string)
 	}
 	t.tracks[id] = name
+	t.mu.Unlock()
 }
 
 // ActorName returns the display name for an actor id.
 func (t *Tracer) ActorName(id int) string {
 	if t != nil {
-		if n, ok := t.actors[id]; ok {
+		t.mu.Lock()
+		n, ok := t.actors[id]
+		t.mu.Unlock()
+		if ok {
 			return n
 		}
 	}
@@ -256,7 +296,10 @@ func (t *Tracer) ActorName(id int) string {
 // TrackName returns the display name for a track id.
 func (t *Tracer) TrackName(id int) string {
 	if t != nil {
-		if n, ok := t.tracks[id]; ok {
+		t.mu.Lock()
+		n, ok := t.tracks[id]
+		t.mu.Unlock()
+		if ok {
 			return n
 		}
 	}

@@ -13,6 +13,7 @@ package simtime
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of the
@@ -40,14 +41,16 @@ func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1000) }
 
 // Clock is a simulated clock. The zero value is a clock at time 0.
 //
-// Clock is intentionally not safe for concurrent use: the simulation is
-// single-threaded and deterministic by design.
+// Clock reads and advances are atomic, so concurrent workers (the SMP
+// benchmark mode) may share one clock without tearing; deterministic runs
+// remain single-threaded, where the atomics are uncontended and free of
+// observable effect.
 type Clock struct {
-	now Time
+	now atomic.Int64
 }
 
 // Now returns the current simulated time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
 
 // Advance moves the clock forward by d. It panics if d is negative; simulated
 // time never runs backwards.
@@ -55,20 +58,26 @@ func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic("simtime: negative advance")
 	}
-	c.now += d
+	c.now.Add(int64(d))
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future; a time in the
 // past is ignored (the clock is monotonic).
 func (c *Clock) AdvanceTo(t Time) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
 }
 
 // Reset rewinds the clock to zero. Only experiment harnesses call this,
 // between runs.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now.Store(0) }
 
 // event is a scheduled callback.
 type event struct {

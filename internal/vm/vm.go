@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fbufs/internal/faults"
 	"fbufs/internal/machine"
@@ -77,7 +79,9 @@ func (s ClockSink) Charge(d simtime.Duration) { s.Clock.Advance(d) }
 
 // Meter is a CostSink that accumulates charges; the event-driven experiments
 // meter a logical task and then occupy the host CPU for the accumulated
-// duration.
+// duration. A Meter belongs to one logical task at a time and is not safe
+// for concurrent use — the event-driven harness is single-threaded by
+// design (concurrent workers use ClockSink over the atomic Clock instead).
 type Meter struct{ Total simtime.Duration }
 
 // Charge accumulates d.
@@ -174,7 +178,9 @@ type System struct {
 	sink     CostSink
 	nextASID int
 
-	// Stats
+	// Stats. Updated with atomic adds so concurrent workers can share one
+	// System; read them directly only at quiescence (between operations),
+	// as the rest of the repo's counters.
 	Faults     uint64
 	Violations uint64
 	// MapRetries counts injected transient mapping-build failures that
@@ -235,6 +241,13 @@ func (s *System) AllocFrame() (mem.FrameNum, error) {
 
 // AddrSpace is one protection domain's address space: a region list over a
 // page table.
+//
+// The page table, VA allocator, and region list are guarded by mu so
+// concurrent workers can map, unmap, and translate through one space.
+// Translate releases mu before invoking a region fault handler (handlers
+// re-enter Map), which is also what pins the documented lock order: any
+// facility-level lock (core's path/chunk/fbuf locks) is acquired *before*
+// mu, never inside it.
 type AddrSpace struct {
 	Sys  *System
 	ASID int
@@ -243,6 +256,7 @@ type AddrSpace struct {
 	// the space belongs to no domain (package domain sets it).
 	Owner int
 
+	mu      sync.Mutex
 	regions []*Region // sorted by Start
 	pt      map[uint64]PTE
 
@@ -279,6 +293,8 @@ func (s *System) NewAddrSpace(name string) *AddrSpace {
 
 // AddRegion inserts a region. Regions may not overlap.
 func (as *AddrSpace) AddRegion(r *Region) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].Start >= r.Start })
 	if i > 0 && as.regions[i-1].End() > r.Start {
 		return fmt.Errorf("vm: region %q overlaps %q", r.Name, as.regions[i-1].Name)
@@ -294,6 +310,8 @@ func (as *AddrSpace) AddRegion(r *Region) error {
 
 // RemoveRegion removes a region previously added.
 func (as *AddrSpace) RemoveRegion(r *Region) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	for i, e := range as.regions {
 		if e == r {
 			as.regions = append(as.regions[:i], as.regions[i+1:]...)
@@ -304,6 +322,8 @@ func (as *AddrSpace) RemoveRegion(r *Region) {
 
 // FindRegion locates the region containing va, or nil.
 func (as *AddrSpace) FindRegion(va VA) *Region {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].End() > va })
 	if i < len(as.regions) && as.regions[i].Contains(va) {
 		return as.regions[i]
@@ -311,8 +331,14 @@ func (as *AddrSpace) FindRegion(va VA) *Region {
 	return nil
 }
 
-// Regions returns the region list (read-only use).
-func (as *AddrSpace) Regions() []*Region { return as.regions }
+// Regions returns a copy of the region list (read-only use).
+func (as *AddrSpace) Regions() []*Region {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]*Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
 
 // --- VA allocation (private ranges) ---
 
@@ -320,6 +346,8 @@ func (as *AddrSpace) Regions() []*Region { return as.regions }
 // charging the per-fbuf VA allocation cost.
 func (as *AddrSpace) AllocVA(npages int) (VA, error) {
 	as.Sys.charge(as.Sys.Cost.VAAlloc)
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	if lst := as.freeVAs[npages]; len(lst) > 0 {
 		va := lst[len(lst)-1]
 		as.freeVAs[npages] = lst[:len(lst)-1]
@@ -337,7 +365,9 @@ func (as *AddrSpace) AllocVA(npages int) (VA, error) {
 // FreeVA releases a range obtained from AllocVA.
 func (as *AddrSpace) FreeVA(va VA, npages int) {
 	as.Sys.charge(as.Sys.Cost.VAFree)
+	as.mu.Lock()
 	as.freeVAs[npages] = append(as.freeVAs[npages], va)
+	as.mu.Unlock()
 }
 
 // --- Page table operations (each charges its calibrated cost) ---
@@ -348,6 +378,8 @@ func (as *AddrSpace) FreeVA(va VA, npages int) {
 func (as *AddrSpace) Map(va VA, frame mem.FrameNum, prot Prot) {
 	as.Sys.charge(as.Sys.Cost.PTEMap)
 	as.mapRetry()
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	vpn := va.VPN()
 	if old, ok := as.pt[vpn]; ok {
 		// Replacing a mapping: release the old frame.
@@ -363,6 +395,8 @@ func (as *AddrSpace) Map(va VA, frame mem.FrameNum, prot Prot) {
 func (as *AddrSpace) MapOwned(va VA, frame mem.FrameNum, prot Prot) {
 	as.Sys.charge(as.Sys.Cost.PTEMap)
 	as.mapRetry()
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	vpn := va.VPN()
 	if old, ok := as.pt[vpn]; ok {
 		as.Sys.Mem.DecRef(old.Frame)
@@ -378,7 +412,7 @@ func (as *AddrSpace) MapOwned(va VA, frame mem.FrameNum, prot Prot) {
 // errors — which is what makes Map's void signature safe to keep.
 func (as *AddrSpace) mapRetry() {
 	if as.Sys.FaultPlane.Should(faults.MapBuild) {
-		as.Sys.MapRetries++
+		atomic.AddUint64(&as.Sys.MapRetries, 1)
 		as.Sys.charge(as.Sys.Cost.PTEMap)
 	}
 }
@@ -387,6 +421,8 @@ func (as *AddrSpace) mapRetry() {
 // reference. Invalidation uses the lazy ASID-flush discipline (cheaper than
 // a protection downgrade). It reports whether the frame was freed.
 func (as *AddrSpace) Unmap(va VA) bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	vpn := va.VPN()
 	pte, ok := as.pt[vpn]
 	if !ok {
@@ -404,6 +440,8 @@ func (as *AddrSpace) Unmap(va VA) bool {
 // full protection-change cost rather than the lazy unmap cost. It reports
 // whether the frame was freed.
 func (as *AddrSpace) UnmapSync(va VA) bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	vpn := va.VPN()
 	pte, ok := as.pt[vpn]
 	if !ok {
@@ -419,6 +457,8 @@ func (as *AddrSpace) UnmapSync(va VA) bool {
 // consistency (the expensive operation at the center of the volatile-fbuf
 // tradeoff). It reports whether the page was mapped.
 func (as *AddrSpace) SetProt(va VA, prot Prot) bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	vpn := va.VPN()
 	pte, ok := as.pt[vpn]
 	if !ok {
@@ -436,6 +476,8 @@ func (as *AddrSpace) SetProt(va VA, prot Prot) bool {
 // cost charged is COWMark, and the page's physical protection change is
 // deferred to fault time.
 func (as *AddrSpace) SetCOW(va VA) bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	vpn := va.VPN()
 	pte, ok := as.pt[vpn]
 	if !ok {
@@ -461,12 +503,18 @@ func (as *AddrSpace) traceActor() int {
 
 // Lookup returns the PTE for the page containing va.
 func (as *AddrSpace) Lookup(va VA) (PTE, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	pte, ok := as.pt[va.VPN()]
 	return pte, ok
 }
 
 // MappedPages returns the number of valid PTEs (tests, leak checks).
-func (as *AddrSpace) MappedPages() int { return len(as.pt) }
+func (as *AddrSpace) MappedPages() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return len(as.pt)
+}
 
 // --- Simulated access path ---
 
@@ -482,7 +530,12 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 		}
 	}
 	for attempt := 0; ; attempt++ {
+		// Read the PTE under mu, but release it before fault handling:
+		// region handlers (the fbuf lazy-refill path) re-enter Map, and
+		// facility locks rank above mu in the documented lock order.
+		as.mu.Lock()
 		pte, ok := as.pt[va.VPN()]
+		as.mu.Unlock()
 		need := ProtRead
 		if write {
 			need = ProtWrite
@@ -491,7 +544,7 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 			return pte.Frame, nil
 		}
 		// Fault path.
-		sys.Faults++
+		atomic.AddUint64(&sys.Faults, 1)
 		sys.charge(sys.Cost.FaultTrap)
 		if sys.Obs != nil {
 			sys.Obs.Emit(obs.EvPageFault, as.traceActor(), obs.NoTrack, 0, int64(va.VPN()))
@@ -507,12 +560,12 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 				if err := r.Handler(as, va, write); err == nil {
 					continue
 				} else {
-					sys.Violations++
+					atomic.AddUint64(&sys.Violations, 1)
 					return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: err}
 				}
 			}
 		}
-		sys.Violations++
+		atomic.AddUint64(&sys.Violations, 1)
 		cause := ErrNoMapping
 		if ok {
 			cause = fmt.Errorf("protection %v denies access", pte.Prot)
@@ -526,8 +579,7 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 // either way restore write permission and clear COW.
 func (as *AddrSpace) resolveCOW(va VA, pte PTE) error {
 	sys := as.Sys
-	f := sys.Mem.Frame(pte.Frame)
-	if f.RefCount > 1 {
+	if sys.Mem.RefCount(pte.Frame) > 1 {
 		nfn, err := sys.AllocFrame()
 		if err != nil {
 			return err
@@ -540,7 +592,9 @@ func (as *AddrSpace) resolveCOW(va VA, pte PTE) error {
 	sys.charge(sys.Cost.PTEMap) // PTE fix-up
 	pte.COW = false
 	pte.Prot |= ProtWrite | ProtRead
+	as.mu.Lock()
 	as.pt[va.VPN()] = pte
+	as.mu.Unlock()
 	sys.TLB.Invalidate(as.ASID, va.VPN())
 	return nil
 }
@@ -607,11 +661,13 @@ func (as *AddrSpace) TouchRead(va VA) (uint32, error) {
 // Destroy tears down the address space: all mappings are removed (frames
 // released) and the TLB purged of its ASID. Used for domain termination.
 func (as *AddrSpace) Destroy() {
+	as.mu.Lock()
 	for vpn, pte := range as.pt {
 		as.Sys.charge(as.Sys.Cost.PTEUnmap)
 		as.Sys.Mem.DecRef(pte.Frame)
 		delete(as.pt, vpn)
 	}
-	as.Sys.TLB.InvalidateASID(as.ASID)
 	as.regions = nil
+	as.mu.Unlock()
+	as.Sys.TLB.InvalidateASID(as.ASID)
 }
