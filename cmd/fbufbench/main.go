@@ -26,10 +26,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fbufs/internal/bench"
 	"fbufs/internal/obs"
 )
+
+// validExperiments lists the -exp spellings ("chaos" runs only when named
+// explicitly; "all" covers the rest).
+var validExperiments = []string{
+	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "ablations", "chaos", "all",
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, ablations, chaos, all (chaos not in all)")
@@ -200,7 +207,7 @@ func run(w io.Writer, exp string) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(validExperiments, ", "))
 	}
 	return nil
 }

@@ -29,9 +29,21 @@ func TestRunFigure(t *testing.T) {
 	}
 }
 
+// TestRunUnknown is the flag-error table: every unknown -exp spelling
+// must return an error naming the valid experiment list.
 func TestRunUnknown(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run(&buf, "fig99"); err == nil {
-		t.Fatal("unknown experiment accepted")
+	for _, exp := range []string{"fig99", "", "Table1", "chaos,smp"} {
+		t.Run("exp="+exp, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(&buf, exp)
+			if err == nil {
+				t.Fatal("unknown experiment accepted")
+			}
+			for _, want := range []string{"valid:", "table1", "chaos", "all"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"fbufs/internal/conformance"
+)
+
+// runConform replays the model-based conformance differential for one
+// seed: the seeded command sequence run in lockstep against the
+// executable reference model, plus a round of schedule exploration with
+// per-worker virtual clocks. A divergence prints the shrunk
+// counterexample and returns an error (non-zero exit) — this is the
+// replay entry point a failing CI seed names.
+func runConform(w io.Writer, seed int64) error {
+	const ncmds = 250
+	fmt.Fprintf(w, "fbufsim -conform: differential replay, seed %d (%d commands)\n", seed, ncmds)
+	if ce := conformance.RunSeed(seed, ncmds, conformance.Config{}); ce != nil {
+		fmt.Fprintln(w, ce)
+		return fmt.Errorf("conformance divergence at seed %d", seed)
+	}
+	ec := conformance.ExploreConfig{Workers: 2, PerWorker: 8, Schedules: 6}
+	er, err := conformance.Explore(seed, ec)
+	if err != nil {
+		return err
+	}
+	if er != nil {
+		fmt.Fprintln(w, er)
+		return fmt.Errorf("conformance schedule divergence at seed %d", seed)
+	}
+	if err := conformance.RunAggregate(seed, 150); err != nil {
+		fmt.Fprintln(w, err)
+		return fmt.Errorf("aggregate conformance divergence at seed %d", seed)
+	}
+	fmt.Fprintf(w, "ok: sequential differential, %d explored schedules, and the aggregate byte-model matched\n",
+		ec.Schedules+1)
+	return nil
+}

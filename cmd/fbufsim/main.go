@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fbufs"
 	"fbufs/internal/core"
@@ -27,6 +28,9 @@ import (
 	"fbufs/internal/protocols"
 	"fbufs/internal/xkernel"
 )
+
+// validModes lists the -mode spellings, in the order help text shows them.
+var validModes = []string{"cached-volatile", "volatile", "cached", "plain"}
 
 func optsFor(mode string) (fbufs.Options, bool) {
 	switch mode {
@@ -56,8 +60,9 @@ type config struct {
 	events      bool   // print tracer events under each step
 	fbsan       bool   // enable the runtime sanitizer for the run
 
-	chaos bool  // run the seeded fault-injection schedules instead
-	seed  int64 // chaos schedule seed
+	chaos   bool  // run the seeded fault-injection schedules instead
+	conform bool  // replay the model-based conformance differential instead
+	seed    int64 // schedule / differential seed
 }
 
 func main() {
@@ -73,7 +78,8 @@ func main() {
 	flag.BoolVar(&cfg.events, "events", true, "print structured tracer events beneath each step")
 	flag.BoolVar(&cfg.fbsan, "fbsan", false, "enable the fbsan runtime sanitizer (canaries, DMA checks, shadow audits)")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "run the seeded fault-injection schedules (local + network) and verify convergence")
-	flag.Int64Var(&cfg.seed, "seed", 1, "fault schedule seed for -chaos")
+	flag.BoolVar(&cfg.conform, "conform", false, "replay the model-based conformance differential for -seed")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -chaos and -conform")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -83,12 +89,17 @@ func main() {
 }
 
 func run(w io.Writer, cfg config) error {
-	if cfg.chaos {
-		return runChaos(w, cfg.seed)
-	}
+	// Validate the mode before any dispatch: a typo must exit non-zero
+	// even when -chaos or -conform would otherwise ignore the flag.
 	opts, ok := optsFor(cfg.mode)
 	if !ok {
-		return fmt.Errorf("unknown mode %q", cfg.mode)
+		return fmt.Errorf("unknown mode %q (valid: %s)", cfg.mode, strings.Join(validModes, ", "))
+	}
+	if cfg.conform {
+		return runConform(w, cfg.seed)
+	}
+	if cfg.chaos {
+		return runChaos(w, cfg.seed)
 	}
 	if cfg.stack {
 		return traceStack(w, opts, cfg)

@@ -213,9 +213,43 @@ func TestStackModeTrace(t *testing.T) {
 	}
 }
 
-func TestRunUnknownMode(t *testing.T) {
+// TestCLIErrors is the flag-error table: every bad invocation must
+// return an error (non-zero exit from main) whose text names the valid
+// choices, including when -chaos/-conform would otherwise never look at
+// the flag.
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     config
+		wantErr string
+	}{
+		{"unknown mode", config{mode: "bogus", ndomains: 2}, "valid: cached-volatile, volatile, cached, plain"},
+		{"unknown mode under -chaos", config{mode: "bogus", chaos: true, seed: 1}, "valid: cached-volatile"},
+		{"unknown mode under -conform", config{mode: "bogus", conform: true, seed: 1}, "valid: cached-volatile"},
+		{"empty mode", config{mode: "", ndomains: 2}, "valid: cached-volatile"},
+		{"too few domains", config{mode: "plain", ndomains: 1}, "at least 2 domains"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(&out, tc.cfg)
+			if err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestConformMode replays a conformance seed through the CLI entry point.
+func TestConformMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, config{mode: "bogus", ndomains: 2}); err == nil {
-		t.Fatal("unknown mode accepted")
+	if err := run(&out, config{mode: "cached-volatile", conform: true, seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("conform replay did not report success:\n%s", out.String())
 	}
 }

@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fbufs"
 	"fbufs/internal/aggregate"
@@ -22,9 +24,11 @@ const (
 	images     = 8
 )
 
-// fbufPipeline moves images storage -> filter -> viewer with fbufs,
-// cropping 25% off each end in the filter without touching a byte.
-func fbufPipeline() {
+// RunFbufs moves images storage -> filter -> viewer with fbufs, cropping
+// 25% off each end in the filter without touching a byte, then tears the
+// pipeline down (contexts closed, deallocation notices delivered). The
+// returned system lets tests verify the teardown left nothing behind.
+func RunFbufs(w io.Writer) (*fbufs.System, error) {
 	sys := fbufs.New(1 << 15)
 	storage := sys.NewDomain("storage")
 	filter := sys.NewDomain("filter")
@@ -32,23 +36,23 @@ func fbufPipeline() {
 
 	path, err := sys.NewPath("scans", fbufs.CachedVolatile(), 64, storage, filter, viewer)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 	path.SetQuota(-1) // unlimited for this trusted path
 	srcCtx, err := sys.NewCtx(path)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 	// The filter edits messages in its own domain: it needs its own
 	// allocation context for new DAG nodes.
 	filterPath, err := sys.NewPath("filter-edits", fbufs.CachedVolatile(), 1, filter, viewer)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 	filterPath.SetQuota(32)
 	filterCtx, err := aggregate.NewCtx(sys.Fbufs, filterPath, true)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 
 	img := make([]byte, imageBytes)
@@ -61,84 +65,110 @@ func fbufPipeline() {
 	for n := 0; n < images; n++ {
 		m, err := srcCtx.NewData(img)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := m.Transfer(storage, filter); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		fm, err := m.ViewFor(filter)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := m.Free(storage); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		// Crop: drop a quarter from each end. No bytes move — the new
 		// message references the middle of the original buffers.
 		cropped, err := filterCtx.ClipHead(fm, imageBytes/4)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		cropped, err = filterCtx.ClipTail(cropped, imageBytes/4)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := cropped.Transfer(filter, viewer); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		vm, err := cropped.ViewFor(viewer)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := cropped.Free(filter); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := vm.Touch(viewer); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		delivered += int64(vm.Len())
 		if err := vm.Free(viewer); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 	}
 	elapsed := sys.Now() - start
-	fmt.Printf("%-18s %6.1f ms for %d images  (%5.0f Mb/s delivered, crop copied 0 bytes)\n",
+
+	// Teardown: release the contexts' arenas and deliver the deallocation
+	// notices the receivers' frees queued, so every buffer recycles.
+	if err := srcCtx.Close(); err != nil {
+		return sys, err
+	}
+	if err := filterCtx.Close(); err != nil {
+		return sys, err
+	}
+	doms := []*fbufs.Domain{storage, filter, viewer}
+	for _, h := range doms {
+		for _, o := range doms {
+			sys.Fbufs.DeliverNotices(h, o)
+		}
+	}
+
+	fmt.Fprintf(w, "%-18s %6.1f ms for %d images  (%5.0f Mb/s delivered, crop copied 0 bytes)\n",
 		"fbufs (cropping)", elapsed.Microseconds()/1000, images,
 		fbufs.Mbps(delivered, elapsed))
+	return sys, nil
 }
 
-// baseline runs storage -> viewer with a classic transfer facility (no
+// RunBaseline runs storage -> viewer with a classic transfer facility (no
 // cropping: the baselines move whole buffers).
-func baseline(name string, mk func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error)) {
+func RunBaseline(w io.Writer, name string, mk func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error)) error {
 	sys := fbufs.New(1 << 15)
 	a := sys.NewDomain("storage")
 	b := sys.NewDomain("viewer")
 	f, err := mk(sys, a, b)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	start := sys.Now()
 	for n := 0; n < images; n++ {
 		if err := f.Hop(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	elapsed := sys.Now() - start
-	fmt.Printf("%-18s %6.1f ms for %d images  (%5.0f Mb/s)\n",
+	fmt.Fprintf(w, "%-18s %6.1f ms for %d images  (%5.0f Mb/s)\n",
 		name, elapsed.Microseconds()/1000, images,
 		fbufs.Mbps(int64(imageBytes)*images, elapsed))
+	return nil
 }
 
 func main() {
 	fmt.Printf("image retrieval: %d scans of %d MB, storage -> filter -> viewer\n\n",
 		images, imageBytes>>20)
-	fbufPipeline()
-	baseline("copy", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
+	if _, err := RunFbufs(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	err := RunBaseline(os.Stdout, "copy", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
 		return xfer.NewCopier(sys.VM, a, b, imageBytes)
 	})
-	baseline("mach COW", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = RunBaseline(os.Stdout, "mach COW", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
 		return xfer.NewCOW(sys.VM, a, b, imageBytes)
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nThe fbuf pipeline crosses TWO boundaries and still beats the one-hop")
 	fmt.Println("baselines: immutable buffers plus aggregate editing eliminate every copy.")
 }

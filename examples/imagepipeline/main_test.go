@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"fbufs"
+	"fbufs/internal/xfer"
+)
+
+// TestImagePipeline runs the cropping pipeline and asserts the exit
+// state: after context teardown and notice delivery, every fbuf has
+// recycled (zero leaks) and the invariants hold.
+func TestImagePipeline(t *testing.T) {
+	sys, err := RunFbufs(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Fbufs.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after run: %v", err)
+	}
+	if err := sys.Fbufs.CheckConverged(); err != nil {
+		t.Fatalf("pipeline leaked fbufs: %v", err)
+	}
+}
+
+// TestImagePipelineBaselines smoke-runs both classic facilities.
+func TestImagePipelineBaselines(t *testing.T) {
+	err := RunBaseline(io.Discard, "copy", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
+		return xfer.NewCopier(sys.VM, a, b, imageBytes)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunBaseline(io.Discard, "mach COW", func(sys *fbufs.System, a, b *fbufs.Domain) (xfer.Facility, error) {
+		return xfer.NewCOW(sys.VM, a, b, imageBytes)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

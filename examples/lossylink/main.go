@@ -10,13 +10,18 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fbufs"
 	"fbufs/internal/netsim"
 )
 
-func run(dropEvery int) {
+// Run performs the reliable transfer with a 1-in-dropEvery PDU loss rate
+// (0 = lossless), printing the summary line to w, and returns the
+// two-host rig for inspection.
+func Run(w io.Writer, dropEvery int) (*netsim.E2E, netsim.Result, error) {
 	cfg := netsim.Config{
 		Placement: netsim.UserUser,
 		Opts:      fbufs.CachedVolatile(),
@@ -28,19 +33,23 @@ func run(dropEvery int) {
 	}
 	e, err := netsim.NewE2E(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, netsim.Result{}, err
 	}
 	res, err := e.Run()
 	if err != nil {
-		log.Fatal(err)
+		return e, res, err
+	}
+	if res.Delivered != cfg.Count {
+		return e, res, fmt.Errorf("delivered %d of %d messages", res.Delivered, cfg.Count)
 	}
 	loss := "lossless"
 	if dropEvery > 0 {
 		loss = fmt.Sprintf("1-in-%d PDU loss", dropEvery)
 	}
-	fmt.Printf("%-18s delivered %2d/%d msgs  %6.0f Mb/s  retransmits=%-3d acks=%d\n",
+	fmt.Fprintf(w, "%-18s delivered %2d/%d msgs  %6.0f Mb/s  retransmits=%-3d acks=%d\n",
 		loss, res.Delivered, cfg.Count, res.ThroughputMbps,
 		e.A.SWP.Retransmits, e.A.SWP.AcksReceived)
+	return e, res, nil
 }
 
 func main() {
@@ -49,7 +58,9 @@ func main() {
 	fmt.Println("timer-driven retransmission from immutable fbuf clones")
 	fmt.Println()
 	for _, drop := range []int{0, 19, 9, 5} {
-		run(drop)
+		if _, _, err := Run(os.Stdout, drop); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Println("\nEvery message arrives intact regardless of loss rate; the price is")
 	fmt.Println("retransmitted PDUs and timeout stalls, never corrupted data.")

@@ -11,14 +11,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fbufs"
 	"fbufs/internal/core"
 	"fbufs/internal/protocols"
 )
 
-func measure(single bool, opts fbufs.Options, msgBytes int) float64 {
+// Measure runs the verified loopback workload in a fresh system — one
+// domain when single is true, the app|netserver|receiver split otherwise
+// — and returns the steady-state throughput plus the system itself for
+// inspection.
+func Measure(single bool, opts fbufs.Options, msgBytes int) (float64, *fbufs.System, error) {
 	sys := fbufs.New(1 << 14)
 	var src, net, sink *fbufs.Domain
 	if single {
@@ -35,41 +41,58 @@ func measure(single bool, opts fbufs.Options, msgBytes int) float64 {
 		PDUBytes: 4096 + protocols.UDPHeaderBytes,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return 0, sys, err
 	}
 	stack.Sink.Verify = true
 	if err := stack.SendVerified(0, msgBytes); err != nil { // warm up
-		log.Fatal(err)
+		return 0, sys, err
 	}
 	const iters = 4
 	start := sys.Now()
 	for i := 1; i <= iters; i++ {
 		if err := stack.SendVerified(uint64(i), msgBytes); err != nil {
-			log.Fatal(err)
+			return 0, sys, err
 		}
 	}
 	if stack.Sink.VerifyFailures > 0 {
-		log.Fatalf("%d messages corrupted in flight", stack.Sink.VerifyFailures)
+		return 0, sys, fmt.Errorf("%d messages corrupted in flight", stack.Sink.VerifyFailures)
 	}
-	return fbufs.Mbps(int64(msgBytes)*iters, sys.Now()-start)
+	return fbufs.Mbps(int64(msgBytes)*iters, sys.Now()-start), sys, nil
 }
 
-func main() {
-	fmt.Println("UDP/IP over loopback: app | netserver (UDP/IP) | receiver")
-	fmt.Println("every message content-verified end to end")
-	fmt.Println()
-	fmt.Printf("%10s  %14s  %16s  %18s  %9s\n",
+// Run prints the size sweep to w.
+func Run(w io.Writer, sizes []int) error {
+	fmt.Fprintln(w, "UDP/IP over loopback: app | netserver (UDP/IP) | receiver")
+	fmt.Fprintln(w, "every message content-verified end to end")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%10s  %14s  %16s  %18s  %9s\n",
 		"msg bytes", "single domain", "3 dom (cached)", "3 dom (uncached)", "3dom/1dom")
 	uncached := core.Uncached()
 	uncached.Integrated = true
-	for _, size := range []int{4096, 16384, 65536, 262144, 1048576} {
-		s := measure(true, fbufs.CachedVolatile(), size)
-		c := measure(false, fbufs.CachedVolatile(), size)
-		u := measure(false, uncached, size)
-		fmt.Printf("%10d  %11.0f Mb/s  %13.0f Mb/s  %15.0f Mb/s  %8.0f%%\n",
+	for _, size := range sizes {
+		s, _, err := Measure(true, fbufs.CachedVolatile(), size)
+		if err != nil {
+			return err
+		}
+		c, _, err := Measure(false, fbufs.CachedVolatile(), size)
+		if err != nil {
+			return err
+		}
+		u, _, err := Measure(false, uncached, size)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%10d  %11.0f Mb/s  %13.0f Mb/s  %15.0f Mb/s  %8.0f%%\n",
 			size, s, c, u, 100*c/s)
 	}
-	fmt.Println("\nWith cached/volatile fbufs, splitting the OS into three protection")
-	fmt.Println("domains costs almost nothing once messages are large — the paper's case")
-	fmt.Println("for microkernel structure without copy-through-the-kernel penalties.")
+	fmt.Fprintln(w, "\nWith cached/volatile fbufs, splitting the OS into three protection")
+	fmt.Fprintln(w, "domains costs almost nothing once messages are large — the paper's case")
+	fmt.Fprintln(w, "for microkernel structure without copy-through-the-kernel penalties.")
+	return nil
+}
+
+func main() {
+	if err := Run(os.Stdout, []int{4096, 16384, 65536, 262144, 1048576}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"fbufs"
+)
+
+// TestNetserverMeasure runs both topologies at one size and asserts
+// exit state: positive verified throughput and manager invariants (the
+// stack keeps reusable buffers alive, so convergence is not expected —
+// no leak *violations* are).
+func TestNetserverMeasure(t *testing.T) {
+	single, sysS, err := Measure(true, fbufs.CachedVolatile(), 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, sysC, err := Measure(false, fbufs.CachedVolatile(), 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single <= 0 || split <= 0 {
+		t.Fatalf("non-positive throughput: single=%f split=%f", single, split)
+	}
+	for _, sys := range []*fbufs.System{sysS, sysC} {
+		if err := sys.Fbufs.CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated after run: %v", err)
+		}
+	}
+	if split > single {
+		t.Errorf("three domains (%.0f Mb/s) beat one domain (%.0f Mb/s); domain crossings cannot be free", split, single)
+	}
+}
+
+// TestNetserverSweep smoke-runs the printed sweep at small sizes.
+func TestNetserverSweep(t *testing.T) {
+	if err := Run(io.Discard, []int{4096, 16384}); err != nil {
+		t.Fatal(err)
+	}
+}

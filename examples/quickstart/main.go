@@ -8,12 +8,17 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fbufs"
 )
 
-func main() {
+// Run executes the quickstart scenario, printing to w, and returns the
+// simulated system for inspection (tests check invariants and leak
+// state on it).
+func Run(w io.Writer) (*fbufs.System, error) {
 	sys := fbufs.New(1024) // one simulated host with 4 MB of page frames
 
 	producer := sys.NewDomain("producer")
@@ -24,7 +29,7 @@ func main() {
 	// cache exploits.
 	path, err := sys.NewPath("sensor-feed", fbufs.CachedVolatile(), 4, producer, consumer)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 
 	payload := make([]byte, 3*fbufs.PageSize)
@@ -37,13 +42,13 @@ func main() {
 		start := sys.Now()
 		buf, err := path.Alloc()
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := buf.Write(producer, 0, payload); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := sys.Fbufs.Transfer(buf, producer, consumer); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		// The volatile contract: the producer keeps write permission, so
 		// a consumer that must trust the contents calls Secure first.
@@ -53,25 +58,32 @@ func main() {
 			// An untrusting consumer would sys.Fbufs.Secure(buf, consumer) here.
 		}
 		if err := buf.Read(consumer, 0, out); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := sys.Fbufs.Free(buf, consumer); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := sys.Fbufs.Free(buf, producer); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
-		fmt.Printf("round %d: %5d bytes across the domain boundary in %v simulated\n",
+		fmt.Fprintf(w, "round %d: %5d bytes across the domain boundary in %v simulated\n",
 			round, len(payload), sys.Now()-start)
 	}
 
 	st := sys.Fbufs.Snapshot()
-	fmt.Printf("\nallocator: %d allocs, %d cache hits, %d mapping ops during transfer\n",
+	fmt.Fprintf(w, "\nallocator: %d allocs, %d cache hits, %d mapping ops during transfer\n",
 		st.Allocs, st.CacheHits, st.MappingsBuilt)
-	fmt.Printf("free list depth: %d (the fbuf recycled, mappings intact)\n", path.FreeListLen())
-	fmt.Println("\nRound 1 pays for frames, clearing, and mappings. Later rounds reuse")
-	fmt.Println("the cached fbuf with zero mapping work; with a working set this small")
-	fmt.Println("even the TLB entries stay warm, so the transfer is literally free.")
-	fmt.Println("(At large working sets the steady state costs two TLB misses per page,")
-	fmt.Println("the paper's 3 us/page — run cmd/fbufbench -exp table1 to see it.)")
+	fmt.Fprintf(w, "free list depth: %d (the fbuf recycled, mappings intact)\n", path.FreeListLen())
+	fmt.Fprintln(w, "\nRound 1 pays for frames, clearing, and mappings. Later rounds reuse")
+	fmt.Fprintln(w, "the cached fbuf with zero mapping work; with a working set this small")
+	fmt.Fprintln(w, "even the TLB entries stay warm, so the transfer is literally free.")
+	fmt.Fprintln(w, "(At large working sets the steady state costs two TLB misses per page,")
+	fmt.Fprintln(w, "the paper's 3 us/page — run cmd/fbufbench -exp table1 to see it.)")
+	return sys, nil
+}
+
+func main() {
+	if _, err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestQuickstart runs the example end to end and asserts the exit state:
+// invariants hold, nothing leaked (every fbuf recycled to the free
+// list), and the steady-state rounds hit the allocator cache.
+func TestQuickstart(t *testing.T) {
+	sys, err := Run(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Fbufs.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after run: %v", err)
+	}
+	if err := sys.Fbufs.CheckConverged(); err != nil {
+		t.Fatalf("example leaked fbufs: %v", err)
+	}
+	st := sys.Fbufs.Snapshot()
+	if st.Allocs != 3 {
+		t.Errorf("allocs = %d, want 3", st.Allocs)
+	}
+	if st.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (rounds 2 and 3 must reuse the fbuf)", st.CacheHits)
+	}
+}

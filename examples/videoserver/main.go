@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"fbufs"
 	"fbufs/internal/aggregate"
@@ -23,7 +25,10 @@ const (
 	fbufPages  = 16         // 64 KB capture buffers
 )
 
-func runPipeline(name string, opts fbufs.Options) {
+// Run pushes one second of video through kernel -> decoder -> display
+// with the given fbuf variant, printing the cost line to w, and returns
+// the simulated system for inspection.
+func Run(w io.Writer, name string, opts fbufs.Options) (*fbufs.System, error) {
 	sys := fbufs.New(1 << 14)
 	capture := sys.Kernel() // the capture driver is trusted
 	decoder := sys.NewDomain("decoder")
@@ -31,12 +36,12 @@ func runPipeline(name string, opts fbufs.Options) {
 
 	path, err := sys.NewPath("camera0", opts, fbufPages, capture, decoder, display)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 	path.SetQuota(32)
 	ctx, err := aggregate.NewCtx(sys.Fbufs, path, opts.Integrated)
 	if err != nil {
-		log.Fatal(err)
+		return sys, err
 	}
 
 	frame := make([]byte, frameBytes)
@@ -50,49 +55,53 @@ func runPipeline(name string, opts fbufs.Options) {
 		// hardware DMAs it; writing charges the memory touches).
 		m, err := ctx.NewData(frame)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		// Decoder reads the whole frame (headers + inspection), then
 		// annotates it by *prepending* metadata — buffers are immutable,
 		// so editing means logical concatenation, never modification.
 		if err := m.Transfer(capture, decoder); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := m.Touch(decoder); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		// Display consumes and frees.
 		if err := m.Transfer(decoder, display); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := m.Touch(display); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		// Each holder releases its references.
 		view, err := m.ViewFor(display)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := view.Free(display); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		view2, err := m.ViewFor(decoder)
 		if err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := view2.Free(decoder); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 		if err := m.Free(capture); err != nil {
-			log.Fatal(err)
+			return sys, err
 		}
 	}
 	elapsed := sys.Now() - start
+	if err := ctx.Close(); err != nil {
+		return sys, err
+	}
 	perFrame := elapsed / frames
 	budget := fbufs.Duration(1_000_000_000 / 30) // 33.3 ms per frame at 30 fps
-	fmt.Printf("%-22s %8.2f ms/frame  CPU budget used at 30fps: %5.1f%%  throughput %6.0f Mb/s\n",
+	fmt.Fprintf(w, "%-22s %8.2f ms/frame  CPU budget used at 30fps: %5.1f%%  throughput %6.0f Mb/s\n",
 		name, perFrame.Microseconds()/1000, 100*float64(perFrame)/float64(budget),
 		fbufs.Mbps(int64(frameBytes)*frames, elapsed))
+	return sys, nil
 }
 
 func main() {
@@ -100,10 +109,20 @@ func main() {
 		frames, frameBytes/1024)
 	// All variants run the integrated system; only caching/volatility vary.
 	integrated := func(o fbufs.Options) fbufs.Options { o.Integrated = true; return o }
-	runPipeline("cached/volatile", fbufs.CachedVolatile())
-	runPipeline("cached only", integrated(fbufs.CachedNonVolatile()))
-	runPipeline("uncached", integrated(core.Uncached()))
-	runPipeline("plain (no opts)", integrated(core.UncachedNonVolatile()))
+	variants := []struct {
+		name string
+		opts fbufs.Options
+	}{
+		{"cached/volatile", fbufs.CachedVolatile()},
+		{"cached only", integrated(fbufs.CachedNonVolatile())},
+		{"uncached", integrated(core.Uncached())},
+		{"plain (no opts)", integrated(core.UncachedNonVolatile())},
+	}
+	for _, v := range variants {
+		if _, err := Run(os.Stdout, v.name, v.opts); err != nil {
+			log.Fatal(err)
+		}
+	}
 	fmt.Println("\nCaching turns per-frame VM work into free-list reuse. The volatile and")
 	fmt.Println("non-volatile variants tie here because the capture driver is the kernel:")
 	fmt.Println("immutability enforcement for a trusted originator is a no-op (paper, 2.1.3).")

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"fbufs"
+	"fbufs/internal/core"
+)
+
+// TestVideoserverVariants runs every fbuf variant of the pipeline and
+// asserts the exit state: invariants hold and no fbuf outlives the run
+// (the capture driver is the originator, so the final kernel Free must
+// recycle everything).
+func TestVideoserverVariants(t *testing.T) {
+	integrated := func(o fbufs.Options) fbufs.Options { o.Integrated = true; return o }
+	variants := []struct {
+		name string
+		opts fbufs.Options
+	}{
+		{"cached-volatile", fbufs.CachedVolatile()},
+		{"cached", integrated(fbufs.CachedNonVolatile())},
+		{"uncached", integrated(core.Uncached())},
+		{"plain", integrated(core.UncachedNonVolatile())},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			sys, err := Run(io.Discard, v.name, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Fbufs.CheckInvariants(); err != nil {
+				t.Fatalf("invariants violated after run: %v", err)
+			}
+			if err := sys.Fbufs.CheckConverged(); err != nil {
+				t.Fatalf("example leaked fbufs: %v", err)
+			}
+			if st := sys.Fbufs.Snapshot(); st.Allocs == 0 {
+				t.Error("pipeline allocated nothing")
+			}
+		})
+	}
+}

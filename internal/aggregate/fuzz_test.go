@@ -1,6 +1,9 @@
 package aggregate
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fbufs/internal/core"
@@ -56,20 +59,30 @@ func fuzzFbuf(r *rig, image []byte) (*core.Fbuf, error) {
 	return f, nil
 }
 
-// FuzzOpen throws arbitrary node images at the receiver-side DAG walker.
-// The section 3.2.4 contract under test: traversal of any byte pattern
-// must terminate (range checks, cycle detection, node-count bound) and
-// either reject the DAG with an error or yield a message whose segments
-// are internally consistent and fully readable by the receiver.
-func FuzzOpen(f *testing.F) {
-	base := func() vm.VA {
+// fuzzSeed is one (root selector, node image) seed input.
+type fuzzSeed struct {
+	name    string
+	rootSel uint32
+	image   []byte
+}
+
+// fuzzSeeds builds the canonical FuzzOpen seed corpus — one representative
+// per walker verdict. The same inputs are checked into
+// testdata/fuzz/FuzzOpen (regenerate with
+// WRITE_FUZZ_CORPUS=1 go test -run TestWriteSeedCorpus ./internal/aggregate)
+// so other fuzz drivers share them without re-deriving the encoding.
+func fuzzSeeds() ([]fuzzSeed, error) {
+	base, err := func() (vm.VA, error) {
 		r := newFuzzRig()
 		fb, err := fuzzFbuf(r, nil)
 		if err != nil {
-			f.Fatal(err)
+			return 0, err
 		}
-		return fb.Base
+		return fb.Base, nil
 	}()
+	if err != nil {
+		return nil, err
+	}
 
 	leaf := func(img []byte, off int, dataVA vm.VA, n int) {
 		encodeLeaf(img[off:off+nodeSize], dataVA, n)
@@ -78,9 +91,7 @@ func FuzzOpen(f *testing.F) {
 		encodePair(img[off:off+nodeSize], left, right, total)
 	}
 
-	// Seed corpus: one representative per walker verdict.
 	empty := make([]byte, nodeSize) // all zeros decodes as the empty leaf
-	f.Add(uint32(0), empty)
 
 	valid := make([]byte, 256) // pair(leaf, pair(leaf, leaf)) chain
 	leaf(valid, 32, base+512, 64)
@@ -88,29 +99,47 @@ func FuzzOpen(f *testing.F) {
 	leaf(valid, 128, base+2048, 32)
 	pair(valid, 64, base+96, base+128, 160)
 	pair(valid, 0, base+32, base+64, 224)
-	f.Add(uint32(0), valid)
 
 	cyclic := make([]byte, 64) // root points back at itself
 	pair(cyclic, 0, base, base+32, 0)
-	f.Add(uint32(0), cyclic)
 
 	wild := make([]byte, 64) // leaf data outside the fbuf region
 	leaf(wild, 0, vm.VA(0x10), 64)
-	f.Add(uint32(0), wild)
 
 	unaligned := make([]byte, 64) // child pointer not 32-byte aligned
 	pair(unaligned, 0, base+5, base+32, 0)
-	f.Add(uint32(0), unaligned)
 
 	badkind := []byte{7, 0, 0, 0}
-	f.Add(uint32(0), badkind)
 
 	hugeleaf := make([]byte, 64) // length far past any chunk
 	leaf(hugeleaf, 0, base, 1<<30)
-	f.Add(uint32(0), hugeleaf)
 
-	f.Add(uint32(5), valid)                   // unaligned root into a valid image
-	f.Add(uint32(machine.PageSize+32), empty) // root on the second page
+	return []fuzzSeed{
+		{"empty", 0, empty},
+		{"valid", 0, valid},
+		{"cyclic", 0, cyclic},
+		{"wild-pointer", 0, wild},
+		{"unaligned-child", 0, unaligned},
+		{"bad-kind", 0, badkind},
+		{"huge-leaf", 0, hugeleaf},
+		{"unaligned-root", 5, valid},
+		{"second-page-root", machine.PageSize + 32, empty},
+	}, nil
+}
+
+// FuzzOpen throws arbitrary node images at the receiver-side DAG walker.
+// The section 3.2.4 contract under test: traversal of any byte pattern
+// must terminate (range checks, cycle detection, node-count bound) and
+// either reject the DAG with an error or yield a message whose segments
+// are internally consistent and fully readable by the receiver.
+func FuzzOpen(f *testing.F) {
+	seeds, err := fuzzSeeds()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range seeds {
+		f.Add(s.rootSel, s.image)
+	}
 
 	f.Fuzz(func(t *testing.T, rootSel uint32, image []byte) {
 		r := newFuzzRig()
@@ -151,4 +180,38 @@ func FuzzOpen(f *testing.F) {
 			t.Fatal(err)
 		}
 	})
+}
+
+// TestWriteSeedCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzOpen in the Go fuzzing corpus-file format. It only
+// writes when WRITE_FUZZ_CORPUS=1 is set; otherwise it verifies the
+// checked-in files are present and in sync with fuzzSeeds().
+func TestWriteSeedCorpus(t *testing.T) {
+	seeds, err := fuzzSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzOpen")
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\nuint32(%d)\n[]byte(%q)\n", s.rootSel, s.image)
+			if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for _, s := range seeds {
+		data, err := os.ReadFile(filepath.Join(dir, s.name))
+		if err != nil {
+			t.Fatalf("seed corpus file missing (regenerate with WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\nuint32(%d)\n[]byte(%q)\n", s.rootSel, s.image)
+		if string(data) != want {
+			t.Errorf("corpus file %s out of sync with fuzzSeeds(); regenerate with WRITE_FUZZ_CORPUS=1", s.name)
+		}
+	}
 }

@@ -1,0 +1,309 @@
+package conformance
+
+// Aggregate-layer differential runner: seeded DAG-editing op sequences
+// (New/Join/Split/Clip/Push/Pop/Transfer/Clone/Free) run against the
+// real internal/aggregate stack with a byte-slice reference model.
+//
+// The model of an aggregate message is simply its byte content plus the
+// identity of its current holder: every editing operation the paper's
+// §3.2.4 DAG representation supports (concatenate, fragment, clip,
+// header push/pop) has an obvious meaning on a flat byte slice, and the
+// implementation — whatever tree of leaves and pair nodes it builds,
+// whatever reference rebalancing it performs — must read back exactly
+// those bytes for the holder, and must converge to zero live fbufs once
+// every message is freed and all notices are delivered.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"fbufs/internal/aggregate"
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// aslot pairs a live message view with its reference content.
+type aslot struct {
+	m      *aggregate.Msg
+	data   []byte
+	ctx    *aggregate.Ctx
+	holder *domain.Domain
+	moved  bool // transferred away from its building ctx: DAG edits done
+}
+
+const aggMaxSlots = 12
+
+// aggRig is the fixed aggregate differential topology: an integrated
+// context building in A (data path A->B->C) and a plain context
+// building in B (data path B->C).
+type aggRig struct {
+	mgr   *core.Manager
+	reg   *domain.Registry
+	a, b  *domain.Domain
+	cdom  *domain.Domain
+	ctxA  *aggregate.Ctx
+	ctxB  *aggregate.Ctx
+	slots []aslot
+}
+
+func newAggRig() (*aggRig, error) {
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), confFrames, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := core.NewManagerGeometry(sys, reg, 4, 64)
+
+	g := &aggRig{mgr: mgr, reg: reg}
+	g.a = reg.New("A")
+	g.b = reg.New("B")
+	g.cdom = reg.New("C")
+
+	pa, err := mgr.NewPath("agg-a", core.Options{Cached: true, Volatile: true, Populate: true}, 2, g.a, g.b, g.cdom)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := mgr.NewPath("agg-b", core.Options{Cached: true, Volatile: true, Populate: true}, 2, g.b, g.cdom)
+	if err != nil {
+		return nil, err
+	}
+	// The differential workload keeps up to aggMaxSlots multi-fbuf
+	// messages alive at once; the region (64 chunks), not a per-path
+	// quota, is the bound under test here.
+	pa.SetQuota(-1)
+	pb.SetQuota(-1)
+	if g.ctxA, err = aggregate.NewCtx(mgr, pa, true); err != nil {
+		return nil, err
+	}
+	if g.ctxB, err = aggregate.NewCtx(mgr, pb, false); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// verify reads the message back as its holder and compares with the
+// reference bytes.
+func (g *aggRig) verify(tag string, s *aslot) error {
+	got, err := s.m.ReadAll(s.holder)
+	if err != nil {
+		return fmt.Errorf("aggregate conformance: %s: ReadAll(%s): %v", tag, s.holder, err)
+	}
+	if !bytes.Equal(got, s.data) {
+		return fmt.Errorf("aggregate conformance: %s: content mismatch as %s: got %d bytes %x..., want %d bytes %x...",
+			tag, s.holder, len(got), head(got), len(s.data), head(s.data))
+	}
+	return nil
+}
+
+func head(b []byte) []byte {
+	if len(b) > 8 {
+		return b[:8]
+	}
+	return b
+}
+
+// seededBytes produces deterministic patterned content so a wrong-offset
+// or wrong-leaf read never collides with the expected bytes.
+func seededBytes(rnd *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	x := byte(rnd.Intn(256))
+	for i := range b {
+		b[i] = x + byte(i*7)
+	}
+	return b
+}
+
+// nextOf returns the downstream domain a holder transfers to on the
+// slot's data path (A->B->C for ctxA, B->C for ctxB).
+func (g *aggRig) nextOf(s *aslot) *domain.Domain {
+	switch s.holder {
+	case g.a:
+		return g.b
+	case g.b:
+		return g.cdom
+	}
+	return nil
+}
+
+// RunAggregate executes n seeded aggregate operations differentially and
+// then drives the rig to quiescence, returning the first mismatch.
+func RunAggregate(seed int64, n int) error {
+	g, err := newAggRig()
+	if err != nil {
+		return err
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	ctxs := []*aggregate.Ctx{g.ctxA, g.ctxB}
+
+	newSlot := func() error {
+		if len(g.slots) >= aggMaxSlots {
+			return nil
+		}
+		ctx := ctxs[rnd.Intn(len(ctxs))]
+		data := seededBytes(rnd, 1+rnd.Intn(3*ctx.DataFbufBytes()))
+		m, err := ctx.NewData(data)
+		if err != nil {
+			return fmt.Errorf("aggregate conformance: NewData(%d): %v", len(data), err)
+		}
+		g.slots = append(g.slots, aslot{m: m, data: data, ctx: ctx, holder: ctx.Dom})
+		return nil
+	}
+
+	drop := func(i int) { g.slots = append(g.slots[:i], g.slots[i+1:]...) }
+
+	for step := 0; step < n; step++ {
+		if len(g.slots) == 0 {
+			if err := newSlot(); err != nil {
+				return err
+			}
+			continue
+		}
+		i := rnd.Intn(len(g.slots))
+		s := &g.slots[i]
+		op := rnd.Intn(10)
+		// Editing ops require the message to still live in its building
+		// context (post-transfer views are read/free-only, as in the
+		// protocol stacks).
+		if s.moved && op < 6 {
+			op = 6 + rnd.Intn(4)
+		}
+		switch op {
+		case 0: // New
+			if err := newSlot(); err != nil {
+				return err
+			}
+		case 1: // ClipHead
+			k := rnd.Intn(len(s.data) + 1)
+			out, err := s.ctx.ClipHead(s.m, k)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d ClipHead(%d of %d): %v", step, k, len(s.data), err)
+			}
+			s.m, s.data = out, s.data[k:]
+		case 2: // ClipTail
+			k := rnd.Intn(len(s.data) + 1)
+			out, err := s.ctx.ClipTail(s.m, k)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d ClipTail(%d of %d): %v", step, k, len(s.data), err)
+			}
+			s.m, s.data = out, s.data[:len(s.data)-k]
+		case 3: // Split
+			if len(g.slots) >= aggMaxSlots {
+				continue
+			}
+			off := rnd.Intn(len(s.data) + 1)
+			m1, m2, err := s.ctx.Split(s.m, off)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Split(%d of %d): %v", step, off, len(s.data), err)
+			}
+			d1, d2 := s.data[:off], s.data[off:]
+			s.m, s.data = m1, d1
+			g.slots = append(g.slots, aslot{m: m2, data: d2, ctx: s.ctx, holder: s.holder})
+		case 4: // Join with a sibling from the same ctx+holder
+			j := -1
+			for k := range g.slots {
+				if k != i && g.slots[k].ctx == s.ctx && g.slots[k].holder == s.holder && !g.slots[k].moved {
+					j = k
+					break
+				}
+			}
+			if j < 0 {
+				continue
+			}
+			t := &g.slots[j]
+			m, err := s.ctx.Join(s.m, t.m)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Join(%d+%d): %v", step, len(s.data), len(t.data), err)
+			}
+			s.m = m
+			s.data = append(append([]byte(nil), s.data...), t.data...)
+			drop(j)
+		case 5: // Push + Pop round trip
+			hdr := seededBytes(rnd, 1+rnd.Intn(40))
+			m, err := s.ctx.Push(s.m, hdr)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Push(%d): %v", step, len(hdr), err)
+			}
+			got, rest, err := s.ctx.Pop(m, len(hdr))
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Pop(%d): %v", step, len(hdr), err)
+			}
+			if !bytes.Equal(got, hdr) {
+				return fmt.Errorf("aggregate conformance: step %d Pop returned %x..., pushed %x...", step, head(got), head(hdr))
+			}
+			s.m = rest
+		case 6: // Transfer downstream + ViewFor + sender Free
+			to := g.nextOf(s)
+			if to == nil {
+				continue
+			}
+			if err := s.m.Transfer(s.holder, to); err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Transfer %s->%s: %v", step, s.holder, to, err)
+			}
+			v, err := s.m.ViewFor(to)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d ViewFor(%s): %v", step, to, err)
+			}
+			if err := s.m.Free(s.holder); err != nil {
+				return fmt.Errorf("aggregate conformance: step %d sender Free(%s): %v", step, s.holder, err)
+			}
+			s.m, s.holder, s.moved = v, to, true
+		case 7: // Clone then free the clone
+			cl, err := s.m.Clone(s.holder)
+			if err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Clone: %v", step, err)
+			}
+			if err := g.verify(fmt.Sprintf("step %d clone", step), &aslot{m: cl, data: s.data, holder: s.holder}); err != nil {
+				return err
+			}
+			if err := cl.Free(s.holder); err != nil {
+				return fmt.Errorf("aggregate conformance: step %d clone Free: %v", step, err)
+			}
+		case 8: // ReadAll compare
+			if err := g.verify(fmt.Sprintf("step %d", step), s); err != nil {
+				return err
+			}
+		case 9: // Free
+			if err := s.m.Free(s.holder); err != nil {
+				return fmt.Errorf("aggregate conformance: step %d Free(%s): %v", step, s.holder, err)
+			}
+			drop(i)
+		}
+		if err := g.mgr.CheckInvariants(); err != nil {
+			return fmt.Errorf("aggregate conformance: step %d invariants: %v", step, err)
+		}
+	}
+
+	// Final content sweep, then drive to quiescence: free every view,
+	// close both contexts, deliver all notices, and demand convergence
+	// (zero live fbufs, zero queued notices) — the leak oracle.
+	for i := range g.slots {
+		if err := g.verify("final", &g.slots[i]); err != nil {
+			return err
+		}
+	}
+	for i := range g.slots {
+		s := &g.slots[i]
+		if err := s.m.Free(s.holder); err != nil {
+			return fmt.Errorf("aggregate conformance: final Free(%s): %v", s.holder, err)
+		}
+	}
+	g.slots = nil
+	if err := g.ctxA.Close(); err != nil {
+		return fmt.Errorf("aggregate conformance: ctxA.Close: %v", err)
+	}
+	if err := g.ctxB.Close(); err != nil {
+		return fmt.Errorf("aggregate conformance: ctxB.Close: %v", err)
+	}
+	doms := []*domain.Domain{g.reg.Kernel(), g.a, g.b, g.cdom}
+	for _, h := range doms {
+		for _, o := range doms {
+			g.mgr.DeliverNotices(h, o)
+		}
+	}
+	if err := g.mgr.CheckConverged(); err != nil {
+		return fmt.Errorf("aggregate conformance: seed %d leaked: %v", seed, err)
+	}
+	return nil
+}

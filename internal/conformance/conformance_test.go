@@ -1,0 +1,230 @@
+package conformance
+
+import (
+	"flag"
+	"testing"
+)
+
+// -seeds scales the differential seed matrix; CI runs
+// `go test ./internal/conformance -run TestConformance -seeds=200`.
+var seeds = flag.Int("seeds", 60, "number of differential seeds to run")
+
+const cmdsPerSeed = 250
+
+// TestConformance is the main differential check: seeded command
+// sequences run against the model and the real stack in lockstep, with
+// full state audits every few commands. Any divergence fails with a
+// shrunk counterexample and a replay instruction.
+func TestConformance(t *testing.T) {
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		if ce := RunSeed(seed, cmdsPerSeed, Config{}); ce != nil {
+			t.Fatalf("%s", ce)
+		}
+	}
+}
+
+// TestConformanceCoverage asserts the generated workload actually
+// reaches the interesting machinery — a divergence suite that never
+// allocates past a quota or overflows a notice list proves nothing.
+func TestConformanceCoverage(t *testing.T) {
+	var sum Stats
+	n := *seeds
+	if n > 40 {
+		n = 40
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		r, err := newRunner(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range Generate(seed, 200) {
+			r.step = i
+			if _, div := r.exec(c); div != nil {
+				t.Fatalf("seed %d: %v", seed, div)
+			}
+		}
+		st := r.mgr.Snapshot()
+		sum.Allocs += st.Allocs
+		sum.CacheHits += st.CacheHits
+		sum.Transfers += st.Transfers
+		sum.MappingsBuilt += st.MappingsBuilt
+		sum.Secures += st.Secures
+		sum.NoticesQueued += st.NoticesQueued
+		sum.NoticesPiggy += st.NoticesPiggy
+		sum.NoticesExplicit += st.NoticesExplicit
+		sum.FramesReclaimed += st.FramesReclaimed
+		sum.LazyRefills += st.LazyRefills
+		sum.AllocFailures += st.AllocFailures
+	}
+	checks := []struct {
+		name string
+		v    uint64
+	}{
+		{"Allocs", sum.Allocs}, {"CacheHits", sum.CacheHits},
+		{"Transfers", sum.Transfers}, {"MappingsBuilt", sum.MappingsBuilt},
+		{"Secures", sum.Secures}, {"NoticesQueued", sum.NoticesQueued},
+		{"NoticesPiggy", sum.NoticesPiggy}, {"NoticesExplicit", sum.NoticesExplicit},
+		{"FramesReclaimed", sum.FramesReclaimed}, {"LazyRefills", sum.LazyRefills},
+		{"AllocFailures", sum.AllocFailures},
+	}
+	for _, c := range checks {
+		if c.v == 0 {
+			t.Errorf("workload never exercised %s", c.name)
+		}
+	}
+}
+
+// TestConformanceShrinksInjectedBug is the acceptance check from the
+// issue: a seeded semantic bug — skipping the §3.1 write-permission
+// revoke (eager secure) on Transfer — must be caught and shrunk to a
+// counterexample of at most 8 commands.
+func TestConformanceShrinksInjectedBug(t *testing.T) {
+	cfg := Config{Hooks: Hooks{SkipRevokeOnTransfer: true}}
+	var ce *Counterexample
+	for seed := int64(1); seed <= 50; seed++ {
+		if ce = RunSeed(seed, cmdsPerSeed, cfg); ce != nil {
+			break
+		}
+	}
+	if ce == nil {
+		t.Fatal("injected skip-revoke-on-transfer bug was never caught")
+	}
+	if len(ce.Shrunk) > 8 {
+		t.Fatalf("counterexample not minimal: %d commands\n%s", len(ce.Shrunk), ce)
+	}
+	t.Logf("caught with %d-command counterexample:\n%s", len(ce.Shrunk), ce)
+}
+
+// TestConformanceCatchesFIFOReuse injects the wrong free-list
+// discipline (FIFO where the path demands LIFO §3.2.2 and vice versa);
+// the pointer-identity allocation oracle must notice.
+func TestConformanceCatchesFIFOReuse(t *testing.T) {
+	cfg := Config{Hooks: Hooks{FIFOReuse: true}}
+	var ce *Counterexample
+	for seed := int64(1); seed <= 50; seed++ {
+		if ce = RunSeed(seed, cmdsPerSeed, cfg); ce != nil {
+			break
+		}
+	}
+	if ce == nil {
+		t.Fatal("injected free-list order bug was never caught")
+	}
+	t.Logf("caught with %d-command counterexample", len(ce.Shrunk))
+}
+
+// TestConformanceCatchesSkipQuota injects a model that forgets the §3.2
+// chunk quota; the error-class oracle must notice the implementation
+// refusing an allocation the model allows.
+func TestConformanceCatchesSkipQuota(t *testing.T) {
+	cfg := Config{Hooks: Hooks{SkipQuota: true}}
+	var ce *Counterexample
+	for seed := int64(1); seed <= 50; seed++ {
+		if ce = RunSeed(seed, cmdsPerSeed, cfg); ce != nil {
+			break
+		}
+	}
+	if ce == nil {
+		t.Fatal("injected skip-quota bug was never caught")
+	}
+	t.Logf("caught with %d-command counterexample", len(ce.Shrunk))
+}
+
+// TestExploreRandom runs the interleaving explorer over random and
+// min-clock schedules: per-worker virtual clocks, sink swapped before
+// every step. The facility's functional behavior must be identical
+// under every schedule (sequential-consistency envelope).
+func TestExploreRandom(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		er, err := Explore(seed, ExploreConfig{Workers: 3, PerWorker: 10, Schedules: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er != nil {
+			t.Fatalf("%s", er)
+		}
+	}
+}
+
+// TestExploreExhaustive enumerates every interleaving of two 3-command
+// streams (20 schedules) for a batch of seeds.
+func TestExploreExhaustive(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		er, err := Explore(seed, ExploreConfig{Workers: 2, PerWorker: 3, Exhaustive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er != nil {
+			t.Fatalf("%s", er)
+		}
+	}
+}
+
+// TestExploreCatchesInjectedBug: semantic mutations must surface through
+// schedule exploration too, shrunk over the flattened schedule order.
+func TestExploreCatchesInjectedBug(t *testing.T) {
+	var caught *ExploreResult
+	for seed := int64(1); seed <= 20 && caught == nil; seed++ {
+		er, err := Explore(seed, ExploreConfig{
+			Workers: 2, PerWorker: 8, Schedules: 4,
+			Cfg: Config{Hooks: Hooks{SkipRevokeOnTransfer: true}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caught = er
+	}
+	if caught == nil {
+		t.Fatal("injected bug never surfaced through exploration")
+	}
+	t.Logf("caught under schedule %v, shrunk to %d commands", caught.Schedule, len(caught.Shrunk))
+}
+
+// TestAggregateConformance runs the aggregate-layer byte-slice
+// differential: DAG edits must preserve content, and the rig must
+// converge to zero live fbufs once everything is freed.
+func TestAggregateConformance(t *testing.T) {
+	n := *seeds
+	if n > 40 {
+		n = 40
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if err := RunAggregate(seed, 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzConformance feeds arbitrary byte strings to the differential
+// runner: every 5-byte group decodes to a command (the encoding is
+// total), so the fuzzer explores the command space directly, with the
+// generated seed corpus as the starting population.
+func FuzzConformance(f *testing.F) {
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(encodeCmds(Generate(seed, 40)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cmds := decodeCmds(data)
+		if len(cmds) == 0 {
+			return
+		}
+		if div := Run(cmds, Config{}); div != nil {
+			t.Fatalf("divergence: %v", div)
+		}
+	})
+}
+
+func encodeCmds(cmds []Cmd) []byte {
+	out := make([]byte, 0, len(cmds)*5)
+	for _, c := range cmds {
+		out = append(out, c.Op, c.A, c.B, c.C, c.D)
+	}
+	return out
+}
+
+func decodeCmds(data []byte) []Cmd {
+	var cmds []Cmd
+	for i := 0; i+5 <= len(data) && len(cmds) < 400; i += 5 {
+		cmds = append(cmds, Cmd{Op: data[i], A: data[i+1], B: data[i+2], C: data[i+3], D: data[i+4]})
+	}
+	return cmds
+}

@@ -1,0 +1,871 @@
+// Package conformance checks the real fbuf stack (internal/core +
+// internal/aggregate) against a small executable reference model of the
+// paper's semantics (Druschel & Peterson, "Fbufs: A High-Bandwidth
+// Cross-Domain Transfer Facility", SOSP 1993).
+//
+// The model in this file is deliberately naive: plain slices and maps, one
+// transition function per facility operation, written straight from the
+// paper's rules so it can be audited section by section (DESIGN.md §11 has
+// the rule-to-section table). It touches no clocks, no VM, no goroutines,
+// and no global state — every transition is a pure function of the Model
+// value — which is what makes it usable as a differential-testing oracle:
+// cmds.go runs seeded command sequences against the model and the real
+// stack simultaneously and reports any divergence as a shrunk, replayable
+// counterexample.
+//
+// The model predicts more than error/success: it tracks exact virtual
+// addresses (the region carve layout and chunk free-list LIFO), per-page
+// frame presence and contents (so reclaim-then-touch reads back zeros),
+// the §3.2.4 empty-leaf page aliasing per domain, the deallocation-notice
+// queues with their overflow threshold, and the full Stats counter vector.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fbufs/internal/core"
+	"fbufs/internal/machine"
+	"fbufs/internal/vm"
+)
+
+// ErrClass buckets facility errors into the equivalence classes the model
+// predicts. Two errors in the same class are "the same outcome".
+type ErrClass int
+
+// Error classes, from success to catch-all.
+const (
+	OK         ErrClass = iota
+	EQuota              // core.ErrQuota: path chunk quota exhausted
+	ERegion             // core.ErrRegionFull: no free chunks in the region
+	ENotHolder          // core.ErrNotHolder: domain holds no reference
+	EDead               // core.ErrDeadDomain: originator or receiver died
+	EClosed             // core.ErrPathClosed
+	EState              // operation on a free/draining fbuf
+	EAccess             // VM-level denial (immutability, no permission, dead AS)
+	EOther              // anything the model does not predict
+)
+
+// String names the class for counterexample reports.
+func (e ErrClass) String() string {
+	switch e {
+	case OK:
+		return "ok"
+	case EQuota:
+		return "quota"
+	case ERegion:
+		return "region-full"
+	case ENotHolder:
+		return "not-holder"
+	case EDead:
+		return "dead-domain"
+	case EClosed:
+		return "path-closed"
+	case EState:
+		return "bad-state"
+	case EAccess:
+		return "access-denied"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps a real-stack error to its class.
+func Classify(err error) ErrClass {
+	if err == nil {
+		return OK
+	}
+	switch {
+	case errors.Is(err, core.ErrQuota):
+		return EQuota
+	case errors.Is(err, core.ErrRegionFull):
+		return ERegion
+	case errors.Is(err, core.ErrNotHolder):
+		return ENotHolder
+	case errors.Is(err, core.ErrDeadDomain):
+		return EDead
+	case errors.Is(err, core.ErrPathClosed):
+		return EClosed
+	}
+	var ae *vm.AccessError
+	if errors.As(err, &ae) {
+		return EAccess
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "of free fbuf") || strings.Contains(msg, "of draining") {
+		return EState
+	}
+	return EOther
+}
+
+// Hooks intentionally mutates the model away from the paper's rules, so
+// tests can prove the differential harness catches a semantic bug and
+// shrinks it to a minimal counterexample (the acceptance self-test).
+// All hooks false is the faithful model.
+type Hooks struct {
+	// SkipRevokeOnTransfer drops the §2.1.3 rule "write permission is
+	// revoked when the originator transfers a non-volatile fbuf".
+	SkipRevokeOnTransfer bool
+	// FIFOReuse predicts FIFO free-list reuse where the paper specifies
+	// LIFO ("the free list is LIFO to improve locality", §3.2.1).
+	FIFOReuse bool
+	// SkipQuota drops the §3.2.1 chunk-quota admission check.
+	SkipQuota bool
+}
+
+// Stats is the model's prediction of core.Stats, field for field.
+type Stats struct {
+	Allocs          uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	Transfers       uint64
+	MappingsBuilt   uint64
+	Secures         uint64
+	Frees           uint64
+	Recycles        uint64
+	NoticesQueued   uint64
+	NoticesPiggy    uint64
+	NoticesExplicit uint64
+	FramesReclaimed uint64
+	LazyRefills     uint64
+	AllocFailures   uint64
+}
+
+// MDomain models a protection domain.
+type MDomain struct {
+	ID      int
+	Name    string
+	Trusted bool
+	Dead    bool
+}
+
+// MChunk models one region chunk granted to a path: a bump allocator
+// (used never decreases) plus the fbufs carved from it, in carve order —
+// the same order termination sweeps visit them.
+type MChunk struct {
+	Index int
+	Used  int // pages carved so far
+	Fbufs []*MFbuf
+}
+
+// MPath models a data path and its allocator.
+type MPath struct {
+	ID     int
+	Name   string
+	Member []int // domain IDs, originator first
+	Pages  int   // fbuf size
+
+	Cached     bool
+	Volatile   bool
+	Integrated bool
+	Populate   bool
+	FIFO       bool
+
+	Quota     int // as set: >0 explicit, 0 manager default, <0 unlimited
+	Closed    bool
+	Allocated uint64
+	Free      []*MFbuf // LIFO: push back, pop back (front when FIFO)
+	Chunks    []*MChunk
+}
+
+// Fbuf lifecycle states, mirroring core.State.
+const (
+	StFree = iota
+	StLive
+	StDraining
+)
+
+// MFbuf models one fbuf: identity (the exact VA the region layout
+// dictates), lifecycle, per-domain references and mappings, and per-page
+// frame presence plus contents.
+type MFbuf struct {
+	VA      uint64
+	Pages   int
+	Path    *MPath
+	Orig    int
+	State   int
+	Secured bool
+	Refs    map[int]int
+	Mapped  map[int]bool
+	Present []bool // physical frame attached (populate / lazy refill)
+	Content []byte // predicted contents, Pages*PageSize
+	Torn    bool   // removed from its chunk; VA no longer resolves to it
+	Tag     int    // runner bookkeeping: index of the paired real fbuf
+}
+
+// noticeKey identifies a deallocation-notice queue: which domain freed
+// last (holder) and which domain's allocator must learn of it (owner).
+type noticeKey struct{ holder, owner int }
+
+// Model is the executable reference: the facility's entire architectural
+// state, small enough to diff against the real manager after every step.
+type Model struct {
+	ChunkPages   int
+	NumChunks    int
+	PageSize     int
+	DefaultQuota int
+	NoticeLimit  int
+	Hooks        Hooks
+
+	FreeChunks []int // LIFO stack of free chunk indices (top = last)
+	Domains    map[int]*MDomain
+	Paths      []*MPath
+	Notices    map[noticeKey][]*MFbuf
+	// Leaf records §3.2.4 empty-leaf aliases: per domain, the set of
+	// region page addresses where an unpermitted read installed the
+	// shared zero page. Such a page reads as zeros for that domain until
+	// a real mapping replaces it (eager transfer map or a write fault).
+	Leaf  map[int]map[uint64]bool
+	Stats Stats
+}
+
+// NewModel builds a model of a manager with the given geometry, mirroring
+// core.NewManagerGeometry: all chunks free, stacked so index 0 is on top.
+func NewModel(chunkPages, numChunks, defaultQuota, noticeLimit int) *Model {
+	m := &Model{
+		ChunkPages:   chunkPages,
+		NumChunks:    numChunks,
+		PageSize:     machine.PageSize,
+		DefaultQuota: defaultQuota,
+		NoticeLimit:  noticeLimit,
+		Domains:      map[int]*MDomain{},
+		Notices:      map[noticeKey][]*MFbuf{},
+		Leaf:         map[int]map[uint64]bool{},
+	}
+	for i := numChunks - 1; i >= 0; i-- {
+		m.FreeChunks = append(m.FreeChunks, i)
+	}
+	return m
+}
+
+// AddDomain registers a domain (setup only).
+func (m *Model) AddDomain(id int, name string, trusted bool) *MDomain {
+	d := &MDomain{ID: id, Name: name, Trusted: trusted}
+	m.Domains[id] = d
+	return d
+}
+
+// AddPath registers a path (setup only). Path IDs must be assigned in the
+// same order the real manager assigns them.
+func (m *Model) AddPath(id int, name string, opts core.Options, pages int, member ...int) *MPath {
+	p := &MPath{
+		ID: id, Name: name, Member: member, Pages: pages,
+		Cached: opts.Cached, Volatile: opts.Volatile,
+		Integrated: opts.Integrated, Populate: opts.Populate, FIFO: opts.FIFO,
+	}
+	m.Paths = append(m.Paths, p)
+	return p
+}
+
+func (m *Model) dead(id int) bool    { return m.Domains[id].Dead }
+func (m *Model) trusted(id int) bool { return m.Domains[id].Trusted }
+
+// EffQuota resolves a path's chunk limit like DataPath.Quota: explicit
+// when positive, manager default when 0, disabled (0) when negative.
+func (m *Model) EffQuota(p *MPath) int {
+	q := p.Quota
+	if q == 0 {
+		q = m.DefaultQuota
+	}
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// --- Allocation (§3.2.1: per-path allocator, chunked region, quota) ---
+
+// Alloc allocates one fbuf on path p: free-list reuse first (LIFO, write
+// permission already restored), then a carve from the path's chunks, then
+// a kernel chunk grant subject to the quota.
+func (m *Model) Alloc(p *MPath) (*MFbuf, ErrClass) {
+	if p.Closed {
+		return nil, EClosed
+	}
+	if m.dead(p.Member[0]) {
+		return nil, EDead
+	}
+	m.Stats.Allocs++
+	p.Allocated++
+	if p.Cached && len(p.Free) > 0 {
+		var f *MFbuf
+		if p.FIFO != m.Hooks.FIFOReuse { // faithful: pop per path option
+			f = p.Free[0]
+			p.Free = p.Free[1:]
+		} else {
+			f = p.Free[len(p.Free)-1]
+			p.Free = p.Free[:len(p.Free)-1]
+		}
+		m.Stats.CacheHits++
+		f.State = StLive
+		f.Refs = map[int]int{p.Member[0]: 1}
+		return f, OK
+	}
+	m.Stats.CacheMisses++
+	return m.carve(p)
+}
+
+// carve builds a new fbuf from chunk space, granting a chunk when no
+// existing chunk of the path has room.
+func (m *Model) carve(p *MPath) (*MFbuf, ErrClass) {
+	var c *MChunk
+	for _, cc := range p.Chunks {
+		if cc.Used+p.Pages <= m.ChunkPages {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		if q := m.EffQuota(p); !m.Hooks.SkipQuota && q > 0 && len(p.Chunks) >= q {
+			m.Stats.AllocFailures++
+			return nil, EQuota
+		}
+		if len(m.FreeChunks) == 0 {
+			m.Stats.AllocFailures++
+			return nil, ERegion
+		}
+		idx := m.FreeChunks[len(m.FreeChunks)-1]
+		m.FreeChunks = m.FreeChunks[:len(m.FreeChunks)-1]
+		c = &MChunk{Index: idx}
+		p.Chunks = append(p.Chunks, c)
+	}
+	orig := p.Member[0]
+	f := &MFbuf{
+		VA:      uint64(core.RegionBase) + uint64(c.Index*m.ChunkPages+c.Used)*uint64(m.PageSize),
+		Pages:   p.Pages,
+		Path:    p,
+		Orig:    orig,
+		State:   StLive,
+		Refs:    map[int]int{orig: 1},
+		Mapped:  map[int]bool{},
+		Present: make([]bool, p.Pages),
+		Content: make([]byte, p.Pages*m.PageSize),
+		Tag:     -1,
+	}
+	c.Used += p.Pages
+	c.Fbufs = append(c.Fbufs, f)
+	if p.Populate {
+		for i := range f.Present {
+			f.Present[i] = true
+		}
+		f.Mapped[orig] = true
+		// The populate mapping replaces any stale empty-leaf alias the
+		// originator had over these pages.
+		m.clearLeaf(orig, f, all)
+	}
+	return f, OK
+}
+
+// AllocBatch mirrors DataPath.AllocBatch: free-list pops first, remaining
+// slots fall through to full Alloc calls; on failure the first n slots
+// stay allocated.
+func (m *Model) AllocBatch(p *MPath, k int) ([]*MFbuf, ErrClass) {
+	if k == 0 {
+		return nil, OK
+	}
+	if p.Closed {
+		return nil, EClosed
+	}
+	if m.dead(p.Member[0]) {
+		return nil, EDead
+	}
+	var out []*MFbuf
+	if p.Cached {
+		for len(out) < k && len(p.Free) > 0 {
+			f, cls := m.Alloc(p) // free list non-empty: always a hit
+			if cls != OK {
+				return out, cls
+			}
+			out = append(out, f)
+		}
+	}
+	for len(out) < k {
+		f, cls := m.Alloc(p)
+		if cls != OK {
+			return out, cls
+		}
+		out = append(out, f)
+	}
+	return out, OK
+}
+
+// --- Transfer (§2.1: copy semantics; §2.1.3: eager secure; §3.2.2:
+// receiver mappings built eagerly for non-integrated transfers) ---
+
+// Transfer passes one reference from from to to.
+func (m *Model) Transfer(f *MFbuf, from, to int) ErrClass {
+	if f.State != StLive {
+		return EState
+	}
+	if f.Refs[from] == 0 {
+		return ENotHolder
+	}
+	if m.dead(to) {
+		return EDead
+	}
+	m.Stats.Transfers++
+	if !f.Path.Volatile && !f.Secured && from == f.Orig && !m.trusted(f.Orig) {
+		if !m.Hooks.SkipRevokeOnTransfer {
+			m.secure(f)
+		}
+	}
+	if from != to && !f.Mapped[to] && !f.Path.Integrated {
+		for pg := 0; pg < f.Pages; pg++ {
+			if f.Present[pg] {
+				m.Stats.MappingsBuilt++
+				m.clearLeaf(to, f, pg)
+			}
+		}
+		f.Mapped[to] = true
+	}
+	f.Refs[to]++
+	return OK
+}
+
+// DupRef duplicates a reference a domain already holds.
+func (m *Model) DupRef(f *MFbuf, d int) ErrClass {
+	if f.State != StLive {
+		return EState
+	}
+	if f.Refs[d] == 0 {
+		return ENotHolder
+	}
+	f.Refs[d]++
+	return OK
+}
+
+// Secure raises protection at a holder's request (§2.1.2 volatile fbufs):
+// a no-op when already secured or when the originator is trusted.
+func (m *Model) Secure(f *MFbuf, d int) ErrClass {
+	if f.State != StLive {
+		return EState
+	}
+	if f.Refs[d] == 0 {
+		return ENotHolder
+	}
+	if f.Secured || m.trusted(f.Orig) {
+		return OK
+	}
+	m.secure(f)
+	return OK
+}
+
+func (m *Model) secure(f *MFbuf) {
+	f.Secured = true
+	m.Stats.Secures++
+}
+
+// --- Access (§3.2.2 lazy refill; §3.2.4 empty-leaf rule) ---
+
+// all marks a clearLeaf covering every page of the fbuf.
+const all = -1
+
+func (m *Model) clearLeaf(d int, f *MFbuf, pg int) {
+	set := m.Leaf[d]
+	if set == nil {
+		return
+	}
+	if pg == all {
+		for i := 0; i < f.Pages; i++ {
+			delete(set, f.VA+uint64(i*m.PageSize))
+		}
+		return
+	}
+	delete(set, f.VA+uint64(pg*m.PageSize))
+}
+
+func (m *Model) markLeaf(d int, va uint64) {
+	set := m.Leaf[d]
+	if set == nil {
+		set = map[uint64]bool{}
+		m.Leaf[d] = set
+	}
+	set[va] = true
+}
+
+// rights reports whether d can access f at all: a current reference, being
+// the originator, or a persistent cached mapping (the fault handler's
+// hasRights predicate). A torn-down fbuf no longer resolves.
+func (m *Model) rights(f *MFbuf, d int) bool {
+	if f.Torn || (f.State == StFree && !f.Path.Cached) {
+		return false
+	}
+	return f.Refs[d] > 0 || d == f.Orig || (f.Path.Cached && f.Mapped[d])
+}
+
+// Write models Fbuf.Write(d, off, data): only the originator of an
+// unsecured fbuf may write (immutable-after-transfer, §2.1). The runner
+// only issues writes to model-Live fbufs, so canary poisoning under fbsan
+// never interferes.
+func (m *Model) Write(f *MFbuf, d int, off int, data []byte) ErrClass {
+	if m.dead(d) {
+		return EAccess
+	}
+	if !m.rights(f, d) || d != f.Orig || f.Secured {
+		return EAccess
+	}
+	for len(data) > 0 {
+		pg := off / m.PageSize
+		if !f.Present[pg] {
+			f.Present[pg] = true
+			m.Stats.LazyRefills++
+		}
+		// Any write fault installs a real RW mapping over a stale leaf
+		// alias; a plain store needs no fault and changes no mapping.
+		m.clearLeaf(d, f, pg)
+		f.Mapped[d] = true
+		n := m.PageSize - off%m.PageSize
+		if n > len(data) {
+			n = len(data)
+		}
+		copy(f.Content[off:], data[:n])
+		data = data[n:]
+		off += n
+	}
+	return OK
+}
+
+// Read models Fbuf.Read(d, off, buf): permitted readers see contents
+// (lazily refilled pages read back zeros); unpermitted readers silently
+// get the empty-leaf page (§3.2.4) — reads never fail inside the region.
+// The returned slice is the predicted data.
+func (m *Model) Read(f *MFbuf, d int, off, n int) ([]byte, ErrClass) {
+	if m.dead(d) {
+		return nil, EAccess
+	}
+	out := make([]byte, n)
+	pos := 0
+	for pos < n {
+		pg := (off + pos) / m.PageSize
+		va := f.VA + uint64(pg*m.PageSize)
+		take := m.PageSize - (off+pos)%m.PageSize
+		if take > n-pos {
+			take = n - pos
+		}
+		leafed := m.Leaf[d][va]
+		if !leafed && m.rights(f, d) {
+			if !f.Present[pg] {
+				f.Present[pg] = true
+				m.Stats.LazyRefills++
+				for i := pg * m.PageSize; i < (pg+1)*m.PageSize; i++ {
+					f.Content[i] = 0
+				}
+			}
+			f.Mapped[d] = true
+			copy(out[pos:pos+take], f.Content[off+pos:])
+		} else if !leafed {
+			// First unpermitted touch: the kernel maps the shared empty
+			// leaf at this page for this domain; it reads as zeros and
+			// keeps doing so until a real mapping replaces it.
+			m.markLeaf(d, va)
+		}
+		pos += take
+	}
+	return out, OK
+}
+
+// --- Free, notices, recycle (§3.2.1 deallocation; LIFO free list;
+// write permission restored to the originator on reuse) ---
+
+// Free drops one reference; FreeBatch frees a list with the recycle
+// batching FreeBatch performs (deferred free-list pushes).
+func (m *Model) Free(f *MFbuf, d int) ErrClass { return m.freeOne(f, d, nil) }
+
+// freeBatchState mirrors core's recycleBatch: the first cached recycle
+// latches a path whose free-list pushes are deferred to the end of the
+// batch; overflow-notice recycles still push immediately.
+type freeBatchState struct {
+	path  *MPath
+	fbufs []*MFbuf
+}
+
+// FreeBatch mirrors Manager.FreeBatch: stops at the first error with
+// earlier fbufs already freed.
+func (m *Model) FreeBatch(fs []*MFbuf, d int) ErrClass {
+	var b freeBatchState
+	for _, f := range fs {
+		if cls := m.freeOne(f, d, &b); cls != OK {
+			m.flushBatch(&b)
+			return cls
+		}
+	}
+	m.flushBatch(&b)
+	return OK
+}
+
+func (m *Model) flushBatch(b *freeBatchState) {
+	if b.path == nil {
+		return
+	}
+	b.path.Free = append(b.path.Free, b.fbufs...)
+	b.fbufs = nil
+}
+
+func (m *Model) freeOne(f *MFbuf, d int, b *freeBatchState) ErrClass {
+	if f.State != StLive {
+		return EState
+	}
+	if f.Refs[d] == 0 {
+		return ENotHolder
+	}
+	m.Stats.Frees++
+	f.Refs[d]--
+	if f.Refs[d] == 0 {
+		delete(f.Refs, d)
+		if !f.Path.Cached && d != f.Orig && f.Mapped[d] {
+			delete(f.Mapped, d)
+		}
+	}
+	if len(f.Refs) > 0 {
+		return OK
+	}
+	// Last reference anywhere: recycle directly when there is no live
+	// owning allocator to notify, else queue a deallocation notice.
+	if d == f.Orig || m.dead(f.Orig) || f.Path.Closed {
+		m.recycle(f, b)
+		return OK
+	}
+	f.State = StDraining
+	k := noticeKey{holder: d, owner: f.Orig}
+	m.Notices[k] = append(m.Notices[k], f)
+	n := len(m.Notices[k])
+	m.Stats.NoticesQueued++
+	if n >= m.NoticeLimit {
+		batch := m.Notices[k]
+		delete(m.Notices, k)
+		m.Stats.NoticesExplicit += uint64(n)
+		for _, ff := range batch {
+			m.recycle(ff, nil) // explicit notice: immediate recycle
+		}
+	}
+	return OK
+}
+
+// DeliverNotices models the piggybacked notice delivery on an RPC reply
+// from replier back to caller.
+func (m *Model) DeliverNotices(replier, caller int) {
+	k := noticeKey{holder: replier, owner: caller}
+	batch := m.Notices[k]
+	delete(m.Notices, k)
+	if len(batch) > 0 {
+		m.Stats.NoticesPiggy += uint64(len(batch))
+		for _, f := range batch {
+			m.recycle(f, nil)
+		}
+	}
+}
+
+// recycle returns an fbuf to its allocator: cached paths push it on the
+// free list with mappings intact, secured protection reverted ("write
+// permissions are returned to the originator"), contents preserved;
+// otherwise the fbuf is fully torn down and its chunk freed when drained.
+func (m *Model) recycle(f *MFbuf, b *freeBatchState) {
+	m.Stats.Recycles++
+	p := f.Path
+	if p.Cached && !m.dead(f.Orig) {
+		if b != nil {
+			if b.path == nil && !p.Closed {
+				b.path = p
+			}
+			if b.path == p {
+				m.resetForFreeList(f)
+				b.fbufs = append(b.fbufs, f)
+				return
+			}
+		}
+		if !p.Closed {
+			m.resetForFreeList(f)
+			p.Free = append(p.Free, f)
+			return
+		}
+	}
+	// Full teardown.
+	f.Refs = map[int]int{}
+	f.Mapped = map[int]bool{}
+	for i := range f.Present {
+		f.Present[i] = false
+	}
+	f.State = StFree
+	f.Secured = false
+	f.Torn = true
+	m.removeFromChunk(f)
+}
+
+func (m *Model) resetForFreeList(f *MFbuf) {
+	f.Secured = false
+	f.State = StFree
+	f.Refs = map[int]int{}
+}
+
+func (m *Model) removeFromChunk(f *MFbuf) {
+	idx := int((f.VA - uint64(core.RegionBase)) / uint64(m.ChunkPages*m.PageSize))
+	var c *MChunk
+	for _, cc := range f.Path.Chunks {
+		if cc.Index == idx {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		return
+	}
+	for i, ff := range c.Fbufs {
+		if ff == f {
+			c.Fbufs = append(c.Fbufs[:i], c.Fbufs[i+1:]...)
+			break
+		}
+	}
+	if len(c.Fbufs) > 0 {
+		return
+	}
+	for i, cc := range f.Path.Chunks {
+		if cc == c {
+			f.Path.Chunks = append(f.Path.Chunks[:i], f.Path.Chunks[i+1:]...)
+			break
+		}
+	}
+	m.FreeChunks = append(m.FreeChunks, c.Index)
+}
+
+// --- Quota, reclamation, termination ---
+
+// SetQuota mirrors DataPath.SetQuota.
+func (m *Model) SetQuota(p *MPath, chunks int) { p.Quota = chunks }
+
+// ReclaimIdle models the pageout daemon reclaiming frames from free-listed
+// fbufs, oldest-freed first, discarding contents (§3.2.1: "it discards the
+// fbuf's contents; it does not have to page it out"). Paths are visited in
+// ID order, matching the manager's deterministic sweep.
+func (m *Model) ReclaimIdle(maxFrames int) int {
+	reclaimed := 0
+	for _, p := range m.Paths {
+		if p.Closed {
+			continue
+		}
+		for i := 0; i < len(p.Free) && reclaimed < maxFrames; i++ {
+			f := p.Free[i]
+			for pg := 0; pg < f.Pages && reclaimed < maxFrames; pg++ {
+				if !f.Present[pg] {
+					continue
+				}
+				f.Present[pg] = false
+				for j := pg * m.PageSize; j < (pg+1)*m.PageSize; j++ {
+					f.Content[j] = 0
+				}
+				reclaimed++
+				m.Stats.FramesReclaimed++
+			}
+			if reclaimed >= maxFrames {
+				break
+			}
+		}
+	}
+	return reclaimed
+}
+
+// Crash models domain termination (§3.3): every reference the domain holds
+// is released (its endpoints die, deallocating associated fbufs), stranded
+// notices are flushed, and every path it participates in closes — chunks
+// stay allocated only while external references drain.
+func (m *Model) Crash(d int) {
+	dom := m.Domains[d]
+	if dom.Dead || dom.Trusted {
+		return
+	}
+	dom.Dead = true
+	// Visit all fbufs chunk by chunk in region order, carve order within
+	// a chunk, over a snapshot (recycles mutate the chunk lists).
+	type victim struct{ f *MFbuf }
+	var visit []victim
+	for idx := 0; idx < m.NumChunks; idx++ {
+		for _, p := range m.Paths {
+			for _, c := range p.Chunks {
+				if c.Index != idx {
+					continue
+				}
+				for _, f := range c.Fbufs {
+					visit = append(visit, victim{f})
+				}
+			}
+		}
+	}
+	for _, v := range visit {
+		f := v.f
+		if f.State == StLive && f.Refs[d] > 0 {
+			f.Refs[d] = 1
+			m.freeOne(f, d, nil)
+		}
+		delete(f.Mapped, d)
+	}
+	// Flush notices stranded at or destined for the dead domain, in
+	// sorted key order (the manager sorts for determinism).
+	var stranded []noticeKey
+	for k := range m.Notices {
+		if k.holder == d || k.owner == d {
+			stranded = append(stranded, k)
+		}
+	}
+	sort.Slice(stranded, func(i, j int) bool {
+		if stranded[i].holder != stranded[j].holder {
+			return stranded[i].holder < stranded[j].holder
+		}
+		return stranded[i].owner < stranded[j].owner
+	})
+	for _, k := range stranded {
+		batch := m.Notices[k]
+		delete(m.Notices, k)
+		for _, f := range batch {
+			m.recycle(f, nil)
+		}
+	}
+	// Close every path the domain participates in, in ID order.
+	for _, p := range m.Paths {
+		for _, id := range p.Member {
+			if id == d {
+				m.ClosePath(p)
+				break
+			}
+		}
+	}
+	// Termination destroys the address space: empty-leaf aliases are gone
+	// and every future access by this domain faults.
+	delete(m.Leaf, d)
+}
+
+// ClosePath models Manager.ClosePath: the free list is torn down; live
+// fbufs drain through the normal free/notice flow.
+func (m *Model) ClosePath(p *MPath) {
+	if p.Closed {
+		return
+	}
+	p.Closed = true
+	fl := p.Free
+	p.Free = nil
+	for _, f := range fl {
+		m.recycle(f, nil)
+	}
+}
+
+// LiveSummary formats a short account of the model state for divergence
+// reports.
+func (m *Model) LiveSummary() string {
+	var sb strings.Builder
+	for _, p := range m.Paths {
+		live, draining := 0, 0
+		for _, c := range p.Chunks {
+			for _, f := range c.Fbufs {
+				switch f.State {
+				case StLive:
+					live++
+				case StDraining:
+					draining++
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%s[id%d chunks=%d free=%d live=%d draining=%d closed=%v] ",
+			p.Name, p.ID, len(p.Chunks), len(p.Free), live, draining, p.Closed)
+	}
+	return strings.TrimSpace(sb.String())
+}

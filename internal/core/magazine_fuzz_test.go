@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// newMagFuzzRig mirrors newRig without a *testing.T so FuzzMagazine's seed
+// registration (under *testing.F) can share it with the fuzz body.
+func newMagFuzzRig() *rig {
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 4096, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := NewManager(sys, reg)
+	r := &rig{clk: clk, sys: sys, reg: reg, mgr: mgr}
+	r.src = reg.New("src")
+	r.net = reg.New("netserver")
+	r.dst = reg.New("dst")
+	for _, d := range []*domain.Domain{r.src, r.net, r.dst} {
+		mgr.AttachDomain(d)
+	}
+	return r
+}
+
+// FuzzMagazine drives byte-decoded op sequences over two magazines sharing
+// one cached/volatile path, interleaved with direct path allocations, full
+// facility frees, transfers (which force the magazine's slow free path),
+// and mid-sequence drains. The PR 4 contract under test: the deferred
+// per-magazine counters must merge so that at quiescence every magazine
+// Alloc call is visible as exactly one hit or miss, the global counter
+// invariants (Stats.Check) hold, and nothing leaks (CheckConverged) — no
+// matter how the fast and slow paths interleave.
+func FuzzMagazine(f *testing.F) {
+	f.Add([]byte{0x00, 0x02, 0x00, 0x02})                   // alloc/free ping-pong
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 0x06, 0x03}) // two mags, drain between
+	f.Add([]byte{0x04, 0x07, 0x00, 0x05, 0x00})             // direct alloc, transfer, direct free
+	f.Add([]byte{0x00, 0x01, 0x02, 0x00, 0x03, 0x01, 0x07, 0x00, 0x06, 0x06})
+	f.Add([]byte{0x04, 0x04, 0x04, 0x04, 0x03, 0x00, 0x03, 0x01, 0x03, 0x02, 0x03, 0x03})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 600 {
+			ops = ops[:600]
+		}
+		r := newMagFuzzRig()
+		san := r.mgr.EnableSanitizer()
+		san.OnViolation = func(msg string) { t.Errorf("fbsan: %s", msg) }
+		p, err := r.mgr.NewPath("mag-fuzz", CachedVolatile(), 1, r.src, r.dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		magA := p.NewMagazine(4)
+		magB := p.NewMagazine(3)
+
+		var live []*Fbuf // src-held live fbufs, in allocation order
+		var magAllocCalls, allocs, frees uint64
+		pick := func(sel byte) int { return int(sel) % len(live) }
+		drop := func(i int) { live = append(live[:i], live[i+1:]...) }
+
+		for i := 0; i < len(ops); i++ {
+			op := ops[i] % 8
+			var sel byte
+			if i+1 < len(ops) {
+				i++
+				sel = ops[i]
+			}
+			switch op {
+			case 0, 1: // magazine alloc
+				mag := magA
+				if op == 1 {
+					mag = magB
+				}
+				magAllocCalls++
+				fb, err := mag.Alloc()
+				if err != nil {
+					continue // quota/region exhaustion: legal, still a miss
+				}
+				allocs++
+				if err := fb.TouchWrite(r.src, uint32(allocs)); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, fb)
+			case 2, 3: // magazine free (sole-holder fast path)
+				if len(live) == 0 {
+					continue
+				}
+				mag := magA
+				if op == 3 {
+					mag = magB
+				}
+				i := pick(sel)
+				if err := mag.Free(live[i], r.src); err != nil {
+					t.Fatalf("magazine free: %v", err)
+				}
+				frees++
+				drop(i)
+			case 4: // direct path alloc (full kernel-boundary path)
+				fb, err := p.Alloc()
+				if err != nil {
+					continue
+				}
+				allocs++
+				live = append(live, fb)
+			case 5: // direct facility free
+				if len(live) == 0 {
+					continue
+				}
+				i := pick(sel)
+				if err := r.mgr.Free(live[i], r.src); err != nil {
+					t.Fatalf("facility free: %v", err)
+				}
+				frees++
+				drop(i)
+			case 6: // mid-sequence drain merges the deferred counters
+				magA.Drain()
+				magB.Drain()
+			case 7: // transfer: receiver free + originator free, both off
+				// the magazine fast path (refs outstanding / secured)
+				if len(live) == 0 {
+					continue
+				}
+				i := pick(sel)
+				fb := live[i]
+				if err := r.mgr.Transfer(fb, r.src, r.dst); err != nil {
+					t.Fatal(err)
+				}
+				if err := fb.TouchRead(r.dst); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.mgr.Free(fb, r.dst); err != nil {
+					t.Fatal(err)
+				}
+				if err := magA.Free(fb, r.src); err != nil {
+					t.Fatalf("post-transfer originator free: %v", err)
+				}
+				frees += 2 // receiver's drop and the originator's both count
+				drop(i)
+			}
+		}
+
+		// Quiesce: free everything still held, drain both stashes, and
+		// deliver any queued deallocation notices.
+		for _, fb := range live {
+			if err := magA.Free(fb, r.src); err != nil {
+				t.Fatalf("final free: %v", err)
+			}
+			frees++
+		}
+		magA.Drain()
+		magB.Drain()
+		doms := []*domain.Domain{r.reg.Kernel(), r.src, r.net, r.dst}
+		for _, h := range doms {
+			for _, o := range doms {
+				r.mgr.DeliverNotices(h, o)
+			}
+		}
+
+		// Deferred-counter contract: a drained magazine holds nothing
+		// locally, and every magazine Alloc call merged as one hit or miss.
+		for name, mag := range map[string]*Magazine{"A": magA, "B": magB} {
+			if d := mag.Depth(); d != 0 {
+				t.Errorf("magazine %s depth %d after Drain", name, d)
+			}
+			h, m, rf, fl := mag.LocalStats()
+			if h|m|rf|fl != 0 {
+				t.Errorf("magazine %s local counters (%d,%d,%d,%d) not merged by Drain",
+					name, h, m, rf, fl)
+			}
+		}
+		cont := r.mgr.ContentionSnapshot()
+		if got := cont.MagazineHits + cont.MagazineMisses; got != magAllocCalls {
+			t.Errorf("hits+misses = %d, want %d (one per magazine Alloc call)",
+				got, magAllocCalls)
+		}
+		stats := r.mgr.Snapshot()
+		if stats.Allocs != allocs || stats.Frees != frees {
+			t.Errorf("Allocs/Frees = %d/%d, want %d/%d",
+				stats.Allocs, stats.Frees, allocs, frees)
+		}
+		if err := stats.Check(); err != nil {
+			t.Errorf("stats invariants: %v", err)
+		}
+		if err := r.mgr.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+		if err := r.mgr.CheckConverged(); err != nil {
+			t.Errorf("leaked after quiescence: %v", err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -964,6 +965,18 @@ func (m *Manager) removeFromChunk(f *Fbuf) {
 
 func (m *Manager) domainByID(id domain.ID) *domain.Domain { return m.Reg.Get(id) }
 
+// pathsByID snapshots the open paths in ascending ID order, so that
+// region-wide sweeps (reclamation, domain termination) visit paths in a
+// deterministic order rather than Go map order.
+func (m *Manager) pathsByID() []*DataPath {
+	out := make([]*DataPath, 0, len(m.paths))
+	for _, p := range m.paths {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // --- Reclamation: the fbuf region is pageable ---
 
 // ReclaimIdle reclaims physical frames from fbufs sitting on free lists,
@@ -973,7 +986,7 @@ func (m *Manager) domainByID(id domain.ID) *domain.Domain { return m.Reg.Get(id)
 // returns the number of frames reclaimed.
 func (m *Manager) ReclaimIdle(maxFrames int) int {
 	reclaimed := 0
-	for _, p := range m.paths {
+	for _, p := range m.pathsByID() {
 		p.lock()
 		for i := 0; i < len(p.free) && reclaimed < maxFrames; i++ {
 			f := p.free[i] // front = least recently freed under LIFO push-to-back
@@ -1058,6 +1071,12 @@ func (m *Manager) domainDied(d *domain.Domain) {
 		}
 	}
 	m.noticeMu.Unlock()
+	sort.Slice(stranded, func(i, j int) bool {
+		if stranded[i].holder != stranded[j].holder {
+			return stranded[i].holder < stranded[j].holder
+		}
+		return stranded[i].owner < stranded[j].owner
+	})
 	for _, k := range stranded {
 		for _, f := range m.popNotices(k) {
 			m.recycle(f)
@@ -1066,7 +1085,7 @@ func (m *Manager) domainDied(d *domain.Domain) {
 	// Close paths the domain participates in; free-listed fbufs of an
 	// originator-dead path are torn down now, chunks retained only while
 	// external references persist.
-	for _, p := range m.paths {
+	for _, p := range m.pathsByID() {
 		for _, pd := range p.Domains {
 			if pd == d {
 				m.ClosePath(p)

@@ -187,13 +187,20 @@ func (s *Sanitizer) verifyReuse(f *Fbuf) {
 
 // frameReclaimed drops the poison record of one page whose frame the
 // reclaimer is discarding, so a later reuse of the same frame number
-// cannot be mistaken for a use-after-free.
+// cannot be mistaken for a use-after-free. The saved bytes are restored
+// first: the frame is about to return to the allocator pool, and leaving
+// canaries in it would let a frame whose Zeroed flag is still set hand
+// poison to the next allocation — visibly diverging from a run without
+// the sanitizer.
 func (s *Sanitizer) frameReclaimed(f *Fbuf, page int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	recs := s.poisoned[f]
 	for i, rec := range recs {
 		if rec.page == page {
+			if page < len(f.frames) && f.frames[page] == rec.frame {
+				copy(s.mgr.Sys.Mem.Frame(rec.frame).Data, rec.saved)
+			}
 			s.poisoned[f] = append(recs[:i], recs[i+1:]...)
 			s.stats.SkippedPages++
 			return
