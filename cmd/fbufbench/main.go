@@ -3,22 +3,27 @@
 //
 // Usage:
 //
-//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|smp|ablations|all]
+//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|smp|audit|ablations|all]
 //	          [-parallel N]
 //	          [-json] [-json-out BENCH_report.json]
+//	          [-baseline BENCH_audit_baseline.json] [-audit-trace out.json]
 //	          [-trace out.json] [-metrics out.json]
 //
 // Output is plain text: one aligned table per paper table, one
 // column-per-series table per paper figure. EXPERIMENTS.md records the
 // paper-vs-measured comparison for every entry. -json additionally writes
 // the machine-readable BENCH_report.json (headline simulated metrics per
-// experiment, for tracking the perf trajectory across PRs); -trace and
+// experiment, for tracking the perf trajectory across PRs); with -exp audit
+// the JSON holds only the latency-attribution experiment. -trace and
 // -metrics export the observability layer's Chrome trace-event JSON and
-// metrics snapshot for the benchmark run. -exp smp prints the deterministic
-// simulated-SMP scaling table; -parallel N additionally runs the wall-clock
-// driver with N real goroutines (opt-in: the default run stays
-// single-threaded and deterministic, and wall-clock numbers never enter the
-// JSON report).
+// metrics snapshot for the benchmark run. -exp audit profiles the fig5
+// cached path per transfer stage; -audit-trace writes the audit flight
+// recorder's Perfetto dump, and -baseline compares the audit p99s against a
+// checked-in report, exiting nonzero on a >10% regression (the CI gate).
+// -exp smp prints the deterministic simulated-SMP scaling table;
+// -parallel N additionally runs the wall-clock driver with N real
+// goroutines (opt-in: the default run stays single-threaded and
+// deterministic, and wall-clock numbers never enter the JSON report).
 package main
 
 import (
@@ -35,14 +40,16 @@ import (
 // validExperiments lists the -exp spellings ("chaos" runs only when named
 // explicitly; "all" covers the rest).
 var validExperiments = []string{
-	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "ablations", "chaos", "all",
+	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "audit", "ablations", "chaos", "all",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, ablations, chaos, all (chaos not in all)")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, audit, ablations, chaos, all (chaos not in all)")
 	parallel := flag.Int("parallel", 0, "also run the wall-clock parallel driver with N real goroutines (0 = off; numbers not written to the JSON report)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark report")
 	jsonPath := flag.String("json-out", "BENCH_report.json", "path for the -json report")
+	baseline := flag.String("baseline", "", "compare the audit experiment against this baseline report; exit 1 on a >10% p99 regression")
+	auditTrace := flag.String("audit-trace", "", "write the audit flight recorder's Perfetto dump to this file")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	flag.Parse()
@@ -62,11 +69,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *jsonOut {
-		if err := writeReport(*jsonPath); err != nil {
+
+	// The audit artifacts (audit-only JSON, Perfetto dump, baseline gate)
+	// share one run.
+	var auditRep *bench.Report
+	var auditRes *bench.AuditResult
+	if *baseline != "" || *auditTrace != "" || (*jsonOut && *exp == "audit") {
+		var err error
+		auditRep, auditRes, err = bench.AuditReport()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "fbufbench:", err)
 			os.Exit(1)
 		}
+		auditRep.Flags = flagSet()
+	}
+	if *jsonOut {
+		var err error
+		if *exp == "audit" {
+			err = writeAuditReport(*jsonPath, auditRep)
+		} else {
+			err = writeReport(*jsonPath, flagSet())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *auditTrace != "" {
+		if err := writeAuditTrace(*auditTrace, auditRes); err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *baseline != "" {
+		if err := gateAudit(*baseline, auditRep); err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("audit gate: no p99 regression vs %s\n", *baseline)
 	}
 	if o != nil {
 		if err := exportObserved(o, *tracePath, *metricsPath); err != nil {
@@ -76,12 +116,66 @@ func main() {
 	}
 }
 
+// flagSet records the explicitly set flags for the report stamp.
+func flagSet() []string {
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		set = append(set, f.Name+"="+f.Value.String())
+	})
+	return set
+}
+
+// writeAuditReport writes the audit-only report.
+func writeAuditReport(path string, rep *bench.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: audit p99 %.0f ns\n", path, rep.Experiments["audit_latency_attribution"].Headline)
+	return nil
+}
+
+// writeAuditTrace writes the audit run's flight-recorder Perfetto dump.
+func writeAuditTrace(path string, res *bench.AuditResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Recorder.WriteDump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// gateAudit compares the current audit report against the baseline file.
+func gateAudit(path string, cur *bench.Report) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := bench.LoadReport(f)
+	if err != nil {
+		return err
+	}
+	return bench.CompareAudit(base, cur)
+}
+
 // writeReport builds the machine-readable report and writes it.
-func writeReport(path string) error {
+func writeReport(path string, flags []string) error {
 	rep, err := bench.BuildReport()
 	if err != nil {
 		return err
 	}
+	rep.Flags = flags
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -185,6 +279,12 @@ func run(w io.Writer, exp string) error {
 	if all || exp == "smp" {
 		ran = true
 		if err := show(bench.SMPScaling()); err != nil {
+			return err
+		}
+	}
+	if all || exp == "audit" {
+		ran = true
+		if err := show(bench.Audit()); err != nil {
 			return err
 		}
 	}

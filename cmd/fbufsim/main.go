@@ -5,6 +5,7 @@
 // Usage:
 //
 //	fbufsim [-mode cached-volatile|volatile|cached|plain] [-pages N] [-hops N] [-domains N]
+//	        [-profile] [-flightrec dump.json]
 //	        [-trace out.json] [-metrics out.json] [-events=false]
 //
 // Example output (cached-volatile, second hop): every line shows the
@@ -12,7 +13,11 @@
 // events indented beneath it; the steady-state hop costs only the TLB
 // misses of actually touching the data. -trace writes the full event
 // stream as Chrome trace-event JSON (open at ui.perfetto.dev), -metrics a
-// JSON snapshot of every counter, gauge, and latency histogram.
+// JSON snapshot of every counter, gauge, and latency histogram. -profile
+// attaches the span layer and prints the per-stage latency attribution of
+// the run's transfers; -flightrec keeps a bounded flight recorder attached
+// and writes a Perfetto dump to the given path if an anomaly (allocation
+// failure, copy fallback, fault verdict) trips it.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fbufs"
 	"fbufs/internal/core"
 	"fbufs/internal/obs"
+	"fbufs/internal/obs/profile"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/protocols"
 	"fbufs/internal/xkernel"
 )
@@ -59,6 +66,8 @@ type config struct {
 	metricsPath string // metrics snapshot JSON output, "" = off
 	events      bool   // print tracer events under each step
 	fbsan       bool   // enable the runtime sanitizer for the run
+	profile     bool   // attach the span layer, print latency attribution
+	flightPath  string // flight-recorder Perfetto dump on anomaly, "" = off
 
 	chaos   bool  // run the seeded fault-injection schedules instead
 	conform bool  // replay the model-based conformance differential instead
@@ -77,6 +86,8 @@ func main() {
 	flag.StringVar(&cfg.metricsPath, "metrics", "", "write a JSON metrics snapshot to this file")
 	flag.BoolVar(&cfg.events, "events", true, "print structured tracer events beneath each step")
 	flag.BoolVar(&cfg.fbsan, "fbsan", false, "enable the fbsan runtime sanitizer (canaries, DMA checks, shadow audits)")
+	flag.BoolVar(&cfg.profile, "profile", false, "attach per-transfer spans and print the latency attribution")
+	flag.StringVar(&cfg.flightPath, "flightrec", "", "attach the flight recorder; write a Perfetto dump here if an anomaly trips it")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "run the seeded fault-injection schedules (local + network) and verify convergence")
 	flag.BoolVar(&cfg.conform, "conform", false, "replay the model-based conformance differential for -seed")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -chaos and -conform")
@@ -113,6 +124,7 @@ func run(w io.Writer, cfg config) error {
 		sys.Fbufs.EnableSanitizer()
 	}
 	o := sys.Observe(1 << 16)
+	prof, fr := attachProfile(o, cfg)
 	doms := []*fbufs.Domain{sys.NewDomain("origin")}
 	for i := 1; i < cfg.ndomains; i++ {
 		doms = append(doms, sys.NewDomain(fmt.Sprintf("recv%d", i)))
@@ -142,6 +154,7 @@ func run(w io.Writer, cfg config) error {
 	word := []byte{0xfb, 0x0f, 0x00, 0x0d}
 	for hop := 1; hop <= cfg.hops; hop++ {
 		fmt.Fprintf(w, "message %d:\n", hop)
+		tid := o.BeginTrace("hop", int64(cfg.pages)*fbufs.PageSize)
 		var f *fbufs.Fbuf
 		step("allocate from path allocator", func() error {
 			var err error
@@ -176,6 +189,7 @@ func run(w io.Writer, cfg config) error {
 				return sys.Fbufs.Free(f, doms[i])
 			})
 		}
+		o.EndTrace(tid)
 		fmt.Fprintln(w)
 	}
 
@@ -189,7 +203,55 @@ func run(w io.Writer, cfg config) error {
 		fmt.Fprintf(w, "fbsan: %d pages poisoned, %d verified, %d DMA checks, %d shadow audits, %d violations\n",
 			ss.PoisonedPages, ss.VerifiedPages, ss.DMAChecks, ss.ShadowAudits, ss.Violations)
 	}
+	if err := reportProfile(w, prof, fr, cfg); err != nil {
+		return err
+	}
 	return export(sys, o, cfg)
+}
+
+// attachProfile wires the span layer, profiler, and flight recorder onto
+// the run's observer as the -profile / -flightrec flags request.
+func attachProfile(o *obs.Observer, cfg config) (*profile.Profiler, *profile.FlightRecorder) {
+	if !cfg.profile && cfg.flightPath == "" {
+		return nil, nil
+	}
+	o.Spans = span.NewRecorder(64)
+	var p *profile.Profiler
+	if cfg.profile {
+		p = profile.NewProfiler()
+	}
+	var fr *profile.FlightRecorder
+	if cfg.flightPath != "" {
+		fr = profile.NewFlightRecorder(o, 16)
+	}
+	profile.Attach(o, p, fr)
+	return p, fr
+}
+
+// reportProfile prints the attribution table and, when the flight recorder
+// tripped, writes its Perfetto dump.
+func reportProfile(w io.Writer, p *profile.Profiler, fr *profile.FlightRecorder, cfg config) error {
+	if p != nil {
+		fmt.Fprintf(w, "\nlatency attribution:\n")
+		if err := p.Report().WriteText(w); err != nil {
+			return err
+		}
+	}
+	if fr != nil {
+		fr.ScanEvents()
+		dumped, err := fr.DumpIfTripped(cfg.flightPath)
+		if err != nil {
+			return err
+		}
+		if dumped {
+			_, an := fr.Tripped()
+			fmt.Fprintf(w, "\nflight recorder: anomaly %q at %s — dump written to %s\n",
+				an.Kind, an.At, cfg.flightPath)
+		} else {
+			fmt.Fprintf(w, "\nflight recorder: no anomaly; no dump written\n")
+		}
+	}
+	return nil
 }
 
 // export writes the trace and metrics files requested by the flags.
@@ -233,6 +295,7 @@ func traceStack(w io.Writer, opts fbufs.Options, cfg config) error {
 		sys.Fbufs.EnableSanitizer()
 	}
 	o := sys.Observe(1 << 16)
+	prof, fr := attachProfile(o, cfg)
 	src := sys.NewDomain("app")
 	net := sys.NewDomain("netserver")
 	sink := sys.NewDomain("receiver")
@@ -264,5 +327,8 @@ func traceStack(w io.Writer, opts fbufs.Options, cfg config) error {
 	}
 	fmt.Fprintf(w, "\ntotal: %v for %d bytes = %.0f Mb/s\n",
 		total, cfg.msgBytes, fbufs.Mbps(int64(cfg.msgBytes), total))
+	if err := reportProfile(w, prof, fr, cfg); err != nil {
+		return err
+	}
 	return export(sys, o, cfg)
 }

@@ -4,8 +4,9 @@
 //	go vet -vettool=$(pwd)/fbufvet ./...   # as a vettool (preferred)
 //	fbufvet ./...                          # standalone, from the module
 //
-// It bundles four analyzers — fbufcheck, errflow, detlint, obshook — each
-// individually switchable (e.g. `go vet -vettool=... -detlint=false`).
+// It bundles five analyzers — fbufcheck, errflow, detlint, obshook,
+// lockorder — each individually switchable (e.g. `go vet -vettool=...
+// -detlint=false`).
 // See internal/analysis for what each checks and why.
 package main
 

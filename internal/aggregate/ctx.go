@@ -7,6 +7,7 @@ import (
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/vm"
 )
 
@@ -269,6 +270,10 @@ func (c *Ctx) sortedFbufs(m map[*core.Fbuf]int) []*core.Fbuf {
 // NewData allocates fbufs for data, writes it, and returns the message.
 // Multi-fbuf messages allocate their buffers as one batch.
 func (c *Ctx) NewData(data []byte) (*Msg, error) {
+	if o := c.Mgr.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageAlloc, "aggregate", int(c.Dom.ID)+c.Mgr.Sys.TraceBase, int64(len(data)))
+		defer o.SpanEnd()
+	}
 	cap := c.DataFbufBytes()
 	k := (len(data) + cap - 1) / cap
 	bufs, err := c.allocDataBatch(k)
@@ -297,6 +302,10 @@ func (c *Ctx) NewData(data []byte) (*Msg, error) {
 // transfer costs from data-generation costs. The data fbufs are allocated
 // as one batch.
 func (c *Ctx) NewTouched(n int) (*Msg, error) {
+	if o := c.Mgr.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageAlloc, "aggregate", int(c.Dom.ID)+c.Mgr.Sys.TraceBase, int64(n))
+		defer o.SpanEnd()
+	}
 	cap := c.DataFbufBytes()
 	k := (n + cap - 1) / cap
 	bufs, err := c.allocDataBatch(k)

@@ -4,10 +4,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"fbufs/internal/core"
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/vm"
 )
 
@@ -160,11 +162,16 @@ func (c *Ctx) joinRoot(left, right vm.VA, total int) (vm.VA, []*core.Fbuf, error
 	return root, setToList(touched), nil
 }
 
+// setToList flattens a touched-node set ordered by region VA (the stable
+// identity of an fbuf within one manager): callers transfer the returned
+// list, so map-iteration order here would leak into the event stream and
+// break byte-identical traces.
 func setToList(set map[*core.Fbuf]bool) []*core.Fbuf {
-	var out []*core.Fbuf
+	out := make([]*core.Fbuf, 0, len(set))
 	for f := range set {
 		out = append(out, f)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
 	return out
 }
 
@@ -179,6 +186,10 @@ func setToList(set map[*core.Fbuf]bool) []*core.Fbuf {
 //     against the VM's empty-leaf page, so dangling references appear as
 //     the absence of data rather than a crash.
 func Open(mgr *core.Manager, d *domain.Domain, rootVA vm.VA) (*Msg, error) {
+	if o := mgr.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageMap, "aggregate", int(d.ID)+mgr.Sys.TraceBase, int64(rootVA))
+		defer o.SpanEnd()
+	}
 	w := &walker{mgr: mgr, d: d, onPath: map[vm.VA]bool{}}
 	if err := w.walk(rootVA); err != nil {
 		return nil, err

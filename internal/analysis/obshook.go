@@ -19,16 +19,25 @@ import (
 //
 // Receivers that provably come from the obs.New constructor in the same
 // function are whitelisted: obs.New never returns nil.
+//
+// It also enforces the span bracketing discipline: a SpanBegin in a
+// function must be paired with a deferred SpanEnd on the same receiver
+// (`defer o.SpanEnd()`), so every return path — including error returns
+// added later — closes the span; an inline (non-deferred) SpanEnd is
+// flagged for the same reason.
 var ObsHook = &Analyzer{
 	Name: "obshook",
-	Doc:  "require the nil-check pattern around hot-path obs.Observer calls and forbid simulated-time charges inside observer guards",
+	Doc:  "require the nil-check pattern around hot-path obs.Observer calls, forbid simulated-time charges inside observer guards, and require SpanBegin to pair with a deferred SpanEnd",
 	Run:  runObsHook,
 }
 
 // obsHotMethods are the Observer methods that appear on per-operation hot
-// paths. Setup-time methods (SetNow, constructors) are exempt.
+// paths. Setup-time methods (SetNow, constructors) are exempt; the
+// nil-safe trace-lifecycle wrappers (BeginTrace, EndTrace, ResumeTrace,
+// SpanRecord, …) are deliberately callable unguarded.
 var obsHotMethods = map[string]bool{
 	"Emit": true, "Observe": true, "Now": true,
+	"SpanBegin": true, "SpanEnd": true,
 }
 
 func runObsHook(pass *Pass) error {
@@ -38,6 +47,7 @@ func runObsHook(pass *Pass) error {
 		}
 		for body := range functionBodies(file) {
 			checkObsBody(pass, body)
+			checkSpanPairing(pass, body)
 		}
 	}
 	return nil
@@ -123,6 +133,67 @@ func checkChargeInGuard(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) {
 				"Clock.Charge inside an observer guard: observation must cost zero simulated time, or tracing perturbs the run it measures")
 			return
 		}
+	}
+}
+
+// checkSpanPairing enforces the span bracketing discipline within one
+// function body: every obs.Observer.SpanBegin must have a deferred
+// SpanEnd on the same receiver (so all return paths close the span), and
+// SpanEnd may only appear under a defer. Nested function literals are
+// separate scopes (inspectShallow skips them; functionBodies yields each
+// one on its own).
+func checkSpanPairing(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	type beginSite struct {
+		call *ast.CallExpr
+		key  string
+	}
+	var begins []beginSite
+	var inlineEnds []*ast.CallExpr
+	deferredEnds := make(map[string]bool)
+	deferredCalls := make(map[*ast.CallExpr]bool)
+
+	spanMethod := func(call *ast.CallExpr) string {
+		fn := calleeFunc(info, call)
+		if fn == nil || !recvTypeIs(fn, "obs", "Observer") {
+			return ""
+		}
+		return fn.Name()
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Pre-order: mark the deferred call before ast.Inspect
+			// descends into it, so the CallExpr case below skips it.
+			if n.Call != nil && spanMethod(n.Call) == "SpanEnd" {
+				deferredCalls[n.Call] = true
+				deferredEnds[exprKey(info, receiverOf(n.Call))] = true
+			}
+		case *ast.CallExpr:
+			switch spanMethod(n) {
+			case "SpanBegin":
+				begins = append(begins, beginSite{n, exprKey(info, receiverOf(n))})
+			case "SpanEnd":
+				if !deferredCalls[n] {
+					inlineEnds = append(inlineEnds, n)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, b := range begins {
+		if !deferredEnds[b.key] {
+			pass.Reportf(b.call.Pos(),
+				"SpanBegin without a deferred SpanEnd on %s in this function: add `defer %s.SpanEnd()` so every return path closes the span",
+				renderExpr(receiverOf(b.call)), renderExpr(receiverOf(b.call)))
+		}
+	}
+	for _, c := range inlineEnds {
+		pass.Reportf(c.Pos(),
+			"SpanEnd outside a defer: use `defer %s.SpanEnd()` so early returns still close the span",
+			renderExpr(receiverOf(c)))
 	}
 }
 

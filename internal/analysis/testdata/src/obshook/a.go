@@ -72,3 +72,68 @@ func (e *engine) chargeOutsideGuard() {
 		e.obs.Emit("transfer")
 	}
 }
+
+// --- Span pairing: positive cases ----------------------------------------
+
+func (e *engine) spanLeak() {
+	if e.obs != nil {
+		e.obs.SpanBegin("alloc", "core", 1, 4) // want "SpanBegin without a deferred SpanEnd"
+	}
+}
+
+func (e *engine) spanEndInline() {
+	if e.obs != nil {
+		e.obs.SpanBegin("map", "core", 1, 4) // want "SpanBegin without a deferred SpanEnd"
+		e.obs.SpanEnd()                      // want "SpanEnd outside a defer"
+	}
+}
+
+func spanMismatchedReceivers(a, b *obs.Observer) {
+	if a == nil {
+		return
+	}
+	if b == nil {
+		return
+	}
+	a.SpanBegin("proto", "udp", 1, 4) // want "SpanBegin without a deferred SpanEnd"
+	defer b.SpanEnd()
+}
+
+func spanUnguarded(o *obs.Observer) {
+	o.SpanBegin("dma", "osiris", 1, 4) // want "unguarded obs.Observer.SpanBegin"
+	defer o.SpanEnd()                  // want "unguarded obs.Observer.SpanEnd"
+}
+
+func spanFreshObserverStillPairs() {
+	o := obs.New(64)                    // obs.New whitelists the guard check...
+	o.SpanBegin("secure", "core", 1, 4) // want "SpanBegin without a deferred SpanEnd"
+	_ = o                               // ...but not the pairing check
+}
+
+// --- Span pairing: negative cases ----------------------------------------
+
+func (e *engine) spanBracketed() {
+	if e.obs != nil {
+		e.obs.SpanBegin("alloc", "core", 1, 4)
+		defer e.obs.SpanEnd()
+	}
+}
+
+func spanBracketedLocal(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	o.SpanBegin("fault", "vm", 1, 4)
+	defer o.SpanEnd()
+}
+
+func spanLiteralScopes(o *obs.Observer) func() {
+	// A nested function literal is its own scope: its bracketed span does
+	// not leak a diagnostic into the enclosing function.
+	return func() {
+		if o != nil {
+			o.SpanBegin("free", "core", 1, 4)
+			defer o.SpanEnd()
+		}
+	}
+}

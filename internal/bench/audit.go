@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fbufs/internal/core"
+	"fbufs/internal/netsim"
+	"fbufs/internal/obs"
+	"fbufs/internal/obs/profile"
+	"fbufs/internal/obs/span"
+	"fbufs/internal/protocols"
+	"fbufs/internal/simtime"
+)
+
+// Audit run parameters: the Figure 5 cached path (user-user placement,
+// cached/volatile fbufs, 16 KB PDUs) at one representative message size,
+// window 1 so every transfer's latency is measured unpipelined.
+const (
+	auditMsgBytes = 65536
+	auditCount    = 32
+	// auditLatencyThreshold trips the flight recorder when a data transfer
+	// exceeds it — far above the clean-run latency (~1 ms for 64 KB), so
+	// only a genuine anomaly produces a dump.
+	auditLatencyThreshold = simtime.Time(50 * 1e6) // 50 ms
+)
+
+// AuditResult is one latency-attribution run: the critical-path profile,
+// the per-path lock-contention heatmap, the flight recorder (for Perfetto
+// export), and the run's throughput result.
+type AuditResult struct {
+	Profile    *profile.Report
+	Contention []profile.ContentionCell
+	Recorder   *profile.FlightRecorder
+	Result     netsim.Result
+}
+
+// Audit runs the end-to-end cached path with the span layer attached and
+// folds every transfer into a per-stage latency attribution.
+func Audit() (*AuditResult, error) {
+	o := obs.New(1 << 16)
+	o.Spans = span.NewRecorder(auditCount + 8)
+	prof := profile.NewProfiler()
+	fr := profile.NewFlightRecorder(o, 16)
+	fr.SetLatencyThreshold("data", int64(auditLatencyThreshold))
+	profile.Attach(o, prof, fr)
+
+	e, err := netsim.NewE2E(netsim.Config{
+		Placement: netsim.UserUser,
+		Opts:      core.CachedVolatile(),
+		PDUBytes:  16*1024 + protocols.UDPHeaderBytes,
+		MsgBytes:  auditMsgBytes,
+		Count:     auditCount,
+		Window:    1,
+		Obs:       o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	fr.ScanEvents()
+
+	var cells []profile.ContentionCell
+	for _, h := range []*netsim.Host{e.A, e.B} {
+		for _, pc := range h.Mgr.ContentionByPath() {
+			cells = append(cells, profile.ContentionCell{
+				Name:      h.Name + "." + pc.Name,
+				Acquires:  pc.Acquires,
+				Contended: pc.Contended,
+				WaitNs:    pc.WaitNs,
+			})
+		}
+	}
+	profile.FillRates(cells)
+
+	return &AuditResult{
+		Profile:    prof.Report(),
+		Contention: cells,
+		Recorder:   fr,
+		Result:     res,
+	}, nil
+}
+
+// WriteTo renders the audit run as text: the attribution tables, the lock
+// heatmap, and any anomalies the flight recorder caught.
+func (a *AuditResult) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString("Latency attribution: fig5 cached path (user-user, 64KB messages, window 1)\n")
+	if err := a.Profile.WriteText(&sb); err != nil {
+		return 0, err
+	}
+	sb.WriteString("lock contention by path\n")
+	if err := profile.WriteContentionTable(&sb, a.Contention); err != nil {
+		return 0, err
+	}
+	if an := a.Recorder.Anomalies(); len(an) > 0 {
+		sb.WriteString("anomalies\n")
+		for _, x := range an {
+			fmt.Fprintf(&sb, "  %s %s %s\n", x.At, x.Kind, x.Detail)
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// AuditExperiment flattens the data path's attribution into a report
+// Experiment: headline is the end-to-end p99; values carry the per-stage
+// totals and p99s the CI regression gate compares.
+func (a *AuditResult) AuditExperiment() (Experiment, error) {
+	pr := a.Profile.Path("data")
+	if pr == nil {
+		return Experiment{}, fmt.Errorf("bench: audit run produced no data-path traces")
+	}
+	vals := map[string]float64{
+		"e2e p99_ns":    float64(pr.E2E.P99Ns),
+		"e2e p50_ns":    float64(pr.E2E.P50Ns),
+		"e2e max_ns":    float64(pr.E2E.MaxNs),
+		"e2e_total_ns":  float64(pr.E2ETotalNs),
+		"attributed_ns": float64(pr.AttributedNs),
+		"traces":        float64(pr.Traces),
+	}
+	for _, row := range pr.Stages {
+		k := row.Layer + "/" + row.Stage
+		vals[k+" total_ns"] = float64(row.TotalNs)
+		vals[k+" p99_ns"] = float64(row.Dist.P99Ns)
+	}
+	return Experiment{Unit: "ns", Headline: float64(pr.E2E.P99Ns), Values: vals}, nil
+}
+
+// AuditReport builds a report holding only the audit experiment — what
+// `fbufbench -exp audit -json` writes and the CI bench-audit job gates on.
+func AuditReport() (*Report, *AuditResult, error) {
+	a, err := Audit()
+	if err != nil {
+		return nil, nil, err
+	}
+	exp, err := a.AuditExperiment()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := NewReport()
+	rep.Experiments["audit_latency_attribution"] = exp
+	return rep, a, nil
+}
+
+// auditRegressionTolerance is the CI gate: a p99 attribution value may grow
+// by at most 10% over the checked-in baseline.
+const auditRegressionTolerance = 0.10
+
+// CompareAudit checks the current audit experiment against a baseline
+// report and returns an error describing every p99 value that regressed
+// more than the tolerance. Stages present only on one side are reported
+// too: a vanished stage means the attribution itself changed shape.
+func CompareAudit(baseline, current *Report) error {
+	const name = "audit_latency_attribution"
+	base, ok := baseline.Experiments[name]
+	if !ok {
+		return fmt.Errorf("bench: baseline has no %s experiment", name)
+	}
+	cur, ok := current.Experiments[name]
+	if !ok {
+		return fmt.Errorf("bench: current report has no %s experiment", name)
+	}
+	keys := make([]string, 0, len(base.Values))
+	for k := range base.Values {
+		if strings.HasSuffix(k, "p99_ns") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var bad []string
+	for _, k := range keys {
+		b := base.Values[k]
+		c, ok := cur.Values[k]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current report (baseline %.0f)", k, b))
+			continue
+		}
+		if b > 0 && c > b*(1+auditRegressionTolerance) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f -> %.0f (+%.1f%%)", k, b, c, 100*(c/b-1)))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench: audit p99 regression beyond %.0f%%:\n  %s",
+			100*auditRegressionTolerance, strings.Join(bad, "\n  "))
+	}
+	return nil
+}

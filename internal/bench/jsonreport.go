@@ -22,12 +22,59 @@ type Experiment struct {
 	Values map[string]float64 `json:"values"`
 }
 
+// ReportSchema is the BENCH_report.json schema version. Bump it when the
+// report's structure or the meaning of existing keys changes; LoadReport
+// rejects files written under any other version so stale baselines fail
+// loudly instead of comparing garbage.
+const ReportSchema = 2
+
+// BenchSeed is the deterministic seed baked into the benchmark workloads
+// (the SWP jitter stream's default); stamped into the report so a baseline
+// records the run configuration it was produced under.
+const BenchSeed = 0x5bd1e995
+
 // Report is the BENCH_report.json payload: every experiment's headline
 // simulated metric, trackable across PRs. All metrics are simulated-time
 // results, independent of the machine running the benchmarks, so the file
 // only changes when the modelled system changes.
 type Report struct {
+	// Schema is the report format version (ReportSchema at write time).
+	Schema int `json:"schema"`
+	// Seed records the deterministic seed the workloads ran under.
+	Seed uint64 `json:"seed"`
+	// Flags records the flag set the producing command ran with.
+	Flags []string `json:"flags,omitempty"`
+
 	Experiments map[string]Experiment `json:"experiments"`
+}
+
+// NewReport returns an empty report stamped with the current schema
+// version and bench seed.
+func NewReport() *Report {
+	return &Report{
+		Schema:      ReportSchema,
+		Seed:        BenchSeed,
+		Experiments: make(map[string]Experiment),
+	}
+}
+
+// LoadReport parses a report and rejects unknown schema versions (a report
+// written before versioning decodes as schema 0 and is rejected too — it
+// predates the keys current comparisons expect).
+func LoadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: report schema %d not supported (want %d); regenerate with fbufbench -json",
+			rep.Schema, ReportSchema)
+	}
+	if rep.Experiments == nil {
+		rep.Experiments = make(map[string]Experiment)
+	}
+	return &rep, nil
 }
 
 // tableValues extracts column col of a Table keyed by the row-name column.
@@ -59,7 +106,7 @@ func figureValues(f *Figure) map[string]float64 {
 // simulated metrics plus the fbuf facility's key counters from a
 // steady-state loopback run.
 func BuildReport() (*Report, error) {
-	rep := &Report{Experiments: make(map[string]Experiment)}
+	rep := NewReport()
 
 	t1, err := Table1()
 	if err != nil {
@@ -135,6 +182,16 @@ func BuildReport() (*Report, error) {
 		Headline: smp["speedup magazine 4w"],
 		Values:   smp,
 	}
+
+	audit, err := Audit()
+	if err != nil {
+		return nil, err
+	}
+	auditExp, err := audit.AuditExperiment()
+	if err != nil {
+		return nil, err
+	}
+	rep.Experiments["audit_latency_attribution"] = auditExp
 	return rep, nil
 }
 

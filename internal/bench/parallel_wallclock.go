@@ -62,6 +62,7 @@ func wallClockRun(workers, opsPerWorker int, magazines bool) (*smpRun, error) {
 	sys := vm.NewSystem(machine.DecStation5000(), 1<<15, vm.ClockSink{Clock: clk})
 	reg := domain.NewRegistry(sys)
 	mgr := core.NewManagerGeometry(sys, reg, 256, 64)
+	mgr.WallNow = func() int64 { return time.Now().UnixNano() }
 	src := reg.New("src")
 	dst := reg.New("dst")
 	path, err := mgr.NewPath("smp-wall", core.CachedVolatile(), 1, src, dst)

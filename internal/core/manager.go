@@ -90,6 +90,14 @@ type Manager struct {
 	// contention counts lock traffic and magazine cache behavior
 	// (published as the smp.* metric group). All fields are atomic.
 	contention Contention
+
+	// WallNow, when set, supplies real wall-clock nanoseconds for the
+	// contended-lock wait measurement (PathContention.WaitNs). It is nil
+	// in the deterministic single-threaded mode — only the opt-in
+	// wall-clock parallel driver installs it, keeping simulator code free
+	// of real-clock reads (the detlint contract). Set before spawning
+	// workers; never mutate concurrently with them.
+	WallNow func() int64
 }
 
 // Contention is the SMP diagnostics counter group: shared-lock traffic on

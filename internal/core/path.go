@@ -11,6 +11,7 @@ import (
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
 	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 )
@@ -53,6 +54,15 @@ type DataPath struct {
 	allocHist  *obs.Histogram
 	hopHist    *obs.Histogram
 	depthGauge *obs.Gauge
+
+	// Per-path shared-lock contention counters (the heatmap's raw data),
+	// alongside the manager-global Contention totals. lockWaitNs is wall
+	// clock, sampled only on the contended slow path and only when the
+	// manager's WallNow hook is installed, so the deterministic
+	// single-threaded mode never reads the real clock.
+	lockAcquires  uint64
+	lockContended uint64
+	lockWaitNs    int64
 }
 
 // NewPath creates a data path. fbufPages is the fixed fbuf size for the
@@ -121,11 +131,48 @@ func (p *DataPath) Quota() int {
 // contention (a failed TryLock means another worker held the lock).
 func (p *DataPath) lock() {
 	atomic.AddUint64(&p.mgr.contention.LockAcquires, 1)
+	atomic.AddUint64(&p.lockAcquires, 1)
 	if p.mu.TryLock() {
 		return
 	}
 	atomic.AddUint64(&p.mgr.contention.LockContended, 1)
+	atomic.AddUint64(&p.lockContended, 1)
+	now := p.mgr.WallNow
+	var t0 int64
+	if now != nil {
+		t0 = now()
+	}
 	p.mu.Lock()
+	if now != nil {
+		atomic.AddInt64(&p.lockWaitNs, now()-t0)
+	}
+}
+
+// PathContention is one path's shared-lock traffic, the raw material for
+// the profiler's contention heatmap. WaitNs is wall-clock waiting measured
+// on contended acquires only, and only when Manager.WallNow is installed
+// (zero in deterministic single-threaded runs).
+type PathContention struct {
+	Name      string
+	Acquires  uint64
+	Contended uint64
+	WaitNs    int64
+}
+
+// ContentionByPath snapshots per-path lock contention for the open paths,
+// in ascending path ID order.
+func (m *Manager) ContentionByPath() []PathContention {
+	paths := m.pathsByID()
+	out := make([]PathContention, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, PathContention{
+			Name:      p.Name,
+			Acquires:  atomic.LoadUint64(&p.lockAcquires),
+			Contended: atomic.LoadUint64(&p.lockContended),
+			WaitNs:    atomic.LoadInt64(&p.lockWaitNs),
+		})
+	}
+	return out
 }
 
 func (p *DataPath) unlock() { p.mu.Unlock() }
@@ -194,6 +241,8 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	var t0 simtime.Time
 	if o != nil {
 		t0 = o.Now()
+		o.SpanBegin(span.StageAlloc, "core", int(p.Originator().ID)+m.Sys.TraceBase, int64(p.fbufPages))
+		defer o.SpanEnd()
 	}
 	p.lock()
 	atomic.AddUint64(&m.stats.Allocs, 1)
@@ -581,6 +630,8 @@ func (m *Manager) Transfer(f *Fbuf, from, to *domain.Domain) error {
 	var t0 simtime.Time
 	if o != nil {
 		t0 = o.Now()
+		o.SpanBegin(span.StageMap, "core", int(to.ID)+m.Sys.TraceBase, int64(f.Pages))
+		defer o.SpanEnd()
 	}
 	atomic.AddUint64(&m.stats.Transfers, 1)
 	m.emit(obs.EvTransfer, from, f, int64(to.ID)+int64(m.Sys.TraceBase))
@@ -665,6 +716,10 @@ func (m *Manager) Secure(f *Fbuf, requester *domain.Domain) error {
 // workers racing here both walk the pages (idempotent SetProt) and both
 // set the secured bit; the protection state converges either way.
 func (m *Manager) secure(f *Fbuf) {
+	if o := m.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageSecure, "core", int(f.Originator.ID)+m.Sys.TraceBase, int64(f.Pages))
+		defer o.SpanEnd()
+	}
 	as := f.Originator.AS
 	f.mu.Lock()
 	for i := 0; i < f.Pages; i++ {
@@ -710,6 +765,10 @@ func (m *Manager) FreeBatch(fs []*Fbuf, d *domain.Domain) error {
 func (m *Manager) freeOne(f *Fbuf, d *domain.Domain, batch *recycleBatch) error {
 	if s := f.loadState(); s != StateLive {
 		return fmt.Errorf("core: free of %s fbuf %#x", s, uint64(f.Base))
+	}
+	if o := m.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageFree, "core", int(d.ID)+m.Sys.TraceBase, int64(f.Pages))
+		defer o.SpanEnd()
 	}
 	f.mu.Lock()
 	if f.refs[d.ID] == 0 {
@@ -772,6 +831,10 @@ func (m *Manager) freeOne(f *Fbuf, d *domain.Domain, batch *recycleBatch) error 
 // `replier` back to `caller`, any deallocation notices held at the replier
 // for fbufs owned by the caller ride along for free.
 func (m *Manager) DeliverNotices(replier, caller *domain.Domain) {
+	if o := m.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageNotice, "core", int(replier.ID)+m.Sys.TraceBase, 0)
+		defer o.SpanEnd()
+	}
 	batch := m.popNotices(noticeKey{holder: replier.ID, owner: caller.ID})
 	if n := len(batch); n > 0 {
 		atomic.AddUint64(&m.stats.NoticesPiggy, uint64(n))

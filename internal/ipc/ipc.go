@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"fbufs/internal/domain"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 )
@@ -121,6 +122,10 @@ func (r *Router) Call(from *domain.Domain, id PortID, msg *Message) (*Message, e
 	}
 	crossing := p.owner != from
 	if crossing {
+		if o := r.sys.Obs; o != nil {
+			o.SpanBegin(span.StageIPC, "ipc", int(p.owner.ID)+r.sys.TraceBase, int64(msg.Descriptors))
+			defer o.SpanEnd()
+		}
 		r.Calls++
 		cost := r.sys.Cost.IPCLatency + r.CrossingSurcharge
 		if msg.Descriptors > 0 {

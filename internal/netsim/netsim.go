@@ -22,6 +22,7 @@ import (
 	"fbufs/internal/faults"
 	"fbufs/internal/machine"
 	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/osiris"
 	"fbufs/internal/protocols"
 	"fbufs/internal/simtime"
@@ -353,6 +354,14 @@ func dedupDomains(ds ...*domain.Domain) []*domain.Domain {
 // transmission). Task errors are returned.
 func (h *Host) Exec(ready simtime.Time, task func() error) error {
 	h.meter.Total = 0
+	if o := h.Sys.Obs; o != nil {
+		// While the task runs, the span clock advances with the simulated
+		// CPU work the task accrues, anchored at its release time — so
+		// spans inside the task get real durations even though the event
+		// clock only moves between scheduler events.
+		o.SetSpanNow(func() simtime.Time { return ready + h.meter.Total })
+		defer o.SetSpanNow(nil)
+	}
 	err := task()
 	d := h.meter.Take()
 	end := h.CPU.ExecAt(ready, d, nil)
@@ -418,6 +427,11 @@ func (h *Host) transmit(pdu osiris.TxPDU, dmaReady simtime.Time) {
 	// peer's bus then streams the remaining cells in.
 	firstArrival := txStart + cellTime + h.cost.LinkCell + h.cost.LinkPropagation
 	rxEnd := peer.Bus.ExecAt(firstArrival, busTime, nil)
+	if o := h.Sys.Obs; o != nil {
+		// The PDU's wire occupancy — segmentation DMA through reassembly
+		// completion — charged to the trace stamped on it at Push time.
+		o.SpanRecord(pdu.Trace, span.StageLink, "net", span.NoActor, txStart, rxEnd, int64(len(pdu.Data)))
+	}
 	deliverAt := rxEnd
 	if verdict == faults.Reorder {
 		// The cells landed, but the completion interrupt is deferred past
@@ -426,22 +440,27 @@ func (h *Host) transmit(pdu osiris.TxPDU, dmaReady simtime.Time) {
 		// keeping the schedule seed-deterministic.
 		deliverAt += 2*busTime + simtime.MS(1)
 	}
-	h.deliverPDU(pdu.VCI, data, pdu.CRC, deliverAt)
+	h.deliverPDU(pdu.VCI, data, pdu.CRC, pdu.Trace, deliverAt)
 	if verdict == faults.Duplicate {
 		// The second copy occupies the peer bus again and arrives just
 		// behind the first; SWP's duplicate suppression absorbs it.
 		rxEnd2 := peer.Bus.ExecAt(rxEnd, busTime, nil)
-		h.deliverPDU(pdu.VCI, pdu.Data, pdu.CRC, rxEnd2)
+		h.deliverPDU(pdu.VCI, pdu.Data, pdu.CRC, pdu.Trace, rxEnd2)
 	}
 }
 
 // deliverPDU schedules the receive interrupt on the peer. Fault-plane runs
 // route through the adapter's CRC check so corrupted frames are discarded;
-// plain runs keep the historical CRC-oblivious path byte-for-byte.
-func (h *Host) deliverPDU(v osiris.VCI, data []byte, crc uint32, at simtime.Time) {
+// plain runs keep the historical CRC-oblivious path byte-for-byte. The
+// PDU's trace id rides along so the peer's receive spans land in the same
+// trace the sender opened.
+func (h *Host) deliverPDU(v osiris.VCI, data []byte, crc uint32, trace uint64, at simtime.Time) {
 	peer := h.peer
 	h.sched.At(at, func() {
 		_ = peer.Exec(at, func() error {
+			if o := peer.Sys.Obs; o != nil {
+				o.ResumeTrace(trace)
+			}
 			if h.cfg.Faults != nil {
 				return peer.Driver.ReceiveChecked(v, data, crc)
 			}
@@ -483,6 +502,9 @@ func NewE2E(cfg Config) (*E2E, error) {
 	}
 	a.peer, b.peer = b, a
 	a.linkID, b.linkID = LinkAB, LinkBA
+	// Acknowledgements trace as their own transfer class so the reverse
+	// path's latency does not pollute the data path's distribution.
+	a.Ack.Label, b.Ack.Label = "ack", "ack"
 	e := &E2E{Sched: sched, Cfg: cfg, A: a, B: b, window: cfg.Window}
 
 	// Receiver: consume the message, record delivery, return an ack (the

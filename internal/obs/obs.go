@@ -15,6 +15,7 @@ package obs
 import (
 	"sync"
 
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 )
 
@@ -309,13 +310,22 @@ func (t *Tracer) TrackName(id int) string {
 	return "path " + itoa(id)
 }
 
-// Observer bundles a tracer and a metrics registry; it is the single handle
-// the simulation layers hold. A nil *Observer disables everything.
+// Observer bundles a tracer, a metrics registry, and an optional span
+// recorder; it is the single handle the simulation layers hold. A nil
+// *Observer disables everything, and a nil Spans disables per-transfer
+// tracing while events and metrics stay live.
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Spans   *span.Recorder
 
 	now func() simtime.Time
+	// spanNow, when set, overrides now for span timestamps only. The
+	// netsim Host.Exec installs it so spans inside a metered task see
+	// simulated time advance with the task's charges (the scheduler clock
+	// is frozen for the task's whole activation); event timestamps keep
+	// the scheduler clock so deterministic traces are unchanged.
+	spanNow func() simtime.Time
 }
 
 // New creates an observer with an event ring of the given capacity and an
@@ -371,6 +381,103 @@ func (o *Observer) Observe(name string, v int64) {
 		return
 	}
 	o.Metrics.Histogram(name).Observe(v)
+}
+
+// SetSpanNow installs (or, with nil, removes) a clock override used only
+// for span timestamps. Safe on nil.
+func (o *Observer) SetSpanNow(fn func() simtime.Time) {
+	if o == nil {
+		return
+	}
+	o.spanNow = fn
+}
+
+// SpanNow reads the span clock: the override when installed, else the
+// attached simulated clock. Safe on nil.
+func (o *Observer) SpanNow() simtime.Time {
+	if o == nil {
+		return 0
+	}
+	if o.spanNow != nil {
+		return o.spanNow()
+	}
+	if o.now != nil {
+		return o.now()
+	}
+	return 0
+}
+
+// SpanBegin opens a child span of the current trace. Every SpanBegin must
+// be paired with a SpanEnd on all return paths (the fbufvet obshook
+// analyzer enforces the pairing statically). Safe on nil.
+func (o *Observer) SpanBegin(stage span.Stage, layer string, actor int, arg int64) {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.Begin(stage, layer, actor, o.SpanNow(), arg)
+}
+
+// SpanEnd closes the innermost open span. Safe on nil.
+func (o *Observer) SpanEnd() {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.End(o.SpanNow())
+}
+
+// BeginTrace opens a new transfer trace (label: transfer class, arg:
+// message bytes) and makes it current; returns 0 when span recording is
+// disabled. Safe on nil.
+func (o *Observer) BeginTrace(label string, arg int64) uint64 {
+	if o == nil || o.Spans == nil {
+		return 0
+	}
+	return o.Spans.BeginTrace(o.SpanNow(), label, arg)
+}
+
+// AbortTrace discards an open trace (the transfer failed). Safe on nil.
+func (o *Observer) AbortTrace(id uint64) {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.AbortTrace(id)
+}
+
+// SpanRecord appends an already-timed span to a trace (link occupancy, DMA
+// windows — intervals timed on the scheduler timeline rather than
+// bracketing the caller's execution). Safe on nil.
+func (o *Observer) SpanRecord(trace uint64, stage span.Stage, layer string, actor int, start, end simtime.Time, arg int64) {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.Record(trace, stage, layer, actor, start, end, arg)
+}
+
+// EndTrace completes a transfer trace at the current span clock. Safe on
+// nil; ending trace 0 (recording disabled) is a no-op.
+func (o *Observer) EndTrace(id uint64) {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.EndTrace(id, o.SpanNow())
+}
+
+// ResumeTrace makes a trace current — the receive side of a cross-host
+// transfer whose PDUs carry the trace ID. Safe on nil.
+func (o *Observer) ResumeTrace(id uint64) {
+	if o == nil || o.Spans == nil {
+		return
+	}
+	o.Spans.Resume(id)
+}
+
+// CurrentTrace returns the trace the current activation charges spans to
+// (0 when none) — the value stamped on outgoing PDUs. Safe on nil.
+func (o *Observer) CurrentTrace() uint64 {
+	if o == nil || o.Spans == nil {
+		return 0
+	}
+	return o.Spans.Current()
 }
 
 // itoa is strconv.Itoa without the import (keeps the hot-path file lean).

@@ -1,0 +1,308 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
+	"fbufs/internal/simtime"
+)
+
+// Anomaly is one trigger recorded by the flight recorder.
+type Anomaly struct {
+	At     simtime.Time `json:"at_ns"`
+	Kind   string       `json:"kind"`
+	Detail string       `json:"detail"`
+}
+
+// FlightRecorder is the always-on bounded crash-dump facility: it keeps the
+// last N completed traces and, when an anomaly trips (end-to-end latency
+// over threshold, allocation failure, copy-path fallback, a fault-plane
+// verdict), renders them plus the current metrics snapshot as a Perfetto
+// (Chrome trace-event) file.
+//
+// A nil *FlightRecorder ignores every call, matching the obs discipline.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	obs     *obs.Observer
+	ring    []span.Trace
+	next, n int
+
+	threshNs    int64  // 0: latency trigger disabled
+	threshLabel string // label the latency trigger applies to; "": any
+
+	cursor    uint64 // Tracer.Since cursor for ScanEvents
+	anomalies []Anomaly
+}
+
+// maxAnomalies bounds the recorded trigger list; later trips keep the
+// tripped state but stop accumulating detail.
+const maxAnomalies = 64
+
+// anomalousEvents maps tracer event kinds to flight-recorder triggers:
+// quota/pool exhaustion, the copy-path fallback engaging, and fault-plane
+// verdicts. (EvCopyRecover and EvCRCDrop are expected behavior on a
+// configured lossy link and do not trip.)
+var anomalousEvents = map[obs.EventKind]string{
+	obs.EvAllocFailed:  "alloc-failed",
+	obs.EvCopyFallback: "copy-fallback",
+	obs.EvLinkFault:    "link-fault",
+	obs.EvDomainCrash:  "domain-crash",
+}
+
+// NewFlightRecorder creates a recorder retaining the last capacity traces,
+// pulling events and metrics from o at scan and dump time.
+func NewFlightRecorder(o *obs.Observer, capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{obs: o, ring: make([]span.Trace, capacity)}
+}
+
+// SetLatencyThreshold arms the latency trigger: a completed trace with the
+// given label (or any label when label is "") whose end-to-end duration
+// exceeds ns trips the recorder. ns <= 0 disarms. Safe on nil.
+func (fr *FlightRecorder) SetLatencyThreshold(label string, ns int64) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.threshLabel, fr.threshNs = label, ns
+	fr.mu.Unlock()
+}
+
+// OnTrace records a completed trace into the ring and checks the latency
+// trigger. Safe on nil; wired via profile.Attach.
+func (fr *FlightRecorder) OnTrace(tr span.Trace) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.ring[fr.next] = tr
+	fr.next++
+	if fr.next == len(fr.ring) {
+		fr.next = 0
+	}
+	if fr.n < len(fr.ring) {
+		fr.n++
+	}
+	if fr.threshNs > 0 && int64(tr.Dur()) > fr.threshNs &&
+		(fr.threshLabel == "" || fr.threshLabel == tr.Label) {
+		fr.tripLocked(tr.End, "latency",
+			fmt.Sprintf("%s trace %d: %s > %s threshold",
+				tr.Label, tr.ID, tr.Dur(), simtime.Time(fr.threshNs)))
+	}
+	fr.mu.Unlock()
+}
+
+// Trip records an anomaly directly — for triggers outside the recorder's
+// own detectors (a bench harness assertion, a conformance divergence).
+// Safe on nil.
+func (fr *FlightRecorder) Trip(at simtime.Time, kind, detail string) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.tripLocked(at, kind, detail)
+	fr.mu.Unlock()
+}
+
+func (fr *FlightRecorder) tripLocked(at simtime.Time, kind, detail string) {
+	if len(fr.anomalies) < maxAnomalies {
+		fr.anomalies = append(fr.anomalies, Anomaly{At: at, Kind: kind, Detail: detail})
+	}
+}
+
+// ScanEvents drains tracer events emitted since the previous scan and trips
+// on the anomalous kinds (allocation failure, copy fallback, link fault,
+// domain crash). Call it periodically or once at the end of a run. Safe on
+// nil.
+func (fr *FlightRecorder) ScanEvents() {
+	if fr == nil || fr.obs == nil || fr.obs.Tracer == nil {
+		return
+	}
+	fr.mu.Lock()
+	evs := fr.obs.Tracer.Since(fr.cursor)
+	fr.cursor = fr.obs.Tracer.Total()
+	for _, e := range evs {
+		if kind, ok := anomalousEvents[e.Kind]; ok {
+			fr.tripLocked(e.At, kind,
+				fmt.Sprintf("%s domain=%d path=%d arg=%d", e.Kind, e.Domain, e.Path, e.Arg))
+		}
+	}
+	fr.mu.Unlock()
+}
+
+// Tripped reports whether any anomaly has fired, and the first one.
+// Safe on nil.
+func (fr *FlightRecorder) Tripped() (bool, Anomaly) {
+	if fr == nil {
+		return false, Anomaly{}
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if len(fr.anomalies) == 0 {
+		return false, Anomaly{}
+	}
+	return true, fr.anomalies[0]
+}
+
+// Anomalies returns a copy of the recorded triggers. Safe on nil.
+func (fr *FlightRecorder) Anomalies() []Anomaly {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]Anomaly, len(fr.anomalies))
+	copy(out, fr.anomalies)
+	return out
+}
+
+// Traces returns the retained traces, oldest first. Safe on nil.
+func (fr *FlightRecorder) Traces() []span.Trace {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.tracesLocked()
+}
+
+func (fr *FlightRecorder) tracesLocked() []span.Trace {
+	if fr.n == 0 {
+		return nil
+	}
+	out := make([]span.Trace, 0, fr.n)
+	start := fr.next - fr.n
+	if start < 0 {
+		start += len(fr.ring)
+	}
+	for i := 0; i < fr.n; i++ {
+		out = append(out, fr.ring[(start+i)%len(fr.ring)])
+	}
+	return out
+}
+
+// WriteDump renders the retained traces, anomalies, and a metrics snapshot
+// as Chrome trace-event JSON loadable in Perfetto. Spans are "X" (complete)
+// events — pid is the span's actor mapped as in the event exporter (actor
+// -1 becomes the reserved "host" pid 0), tid is the owning trace ID —
+// anomalies are instant events on the host track, and the metrics snapshot
+// rides in a final metadata event's args. Output is deterministic: traces
+// oldest first, spans in recorded order, no map iteration. Safe on nil.
+func (fr *FlightRecorder) WriteDump(w io.Writer) error {
+	if fr == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n")
+		return err
+	}
+	fr.mu.Lock()
+	traces := fr.tracesLocked()
+	anomalies := make([]Anomaly, len(fr.anomalies))
+	copy(anomalies, fr.anomalies)
+	o := fr.obs
+	fr.mu.Unlock()
+
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+	// Process metadata for every pid referenced, sorted; pid 0 is reserved
+	// for host-level (actor-less) spans and the anomaly track.
+	pids := map[int]bool{0: true}
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			pids[s.Actor+1] = true
+		}
+	}
+	sorted := make([]int, 0, len(pids))
+	for pid := range pids {
+		sorted = append(sorted, pid)
+	}
+	sortInts(sorted)
+	var tracer *obs.Tracer
+	if o != nil {
+		tracer = o.Tracer
+	}
+	for _, pid := range sorted {
+		sep()
+		fmt.Fprintf(&b, `{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jstr(tracer.ActorName(pid-1)))
+	}
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			sep()
+			ns, dur := int64(s.Start), int64(s.Dur())
+			if dur < 0 {
+				dur = 0
+			}
+			fmt.Fprintf(&b, `{"ph":"X","name":%s,"cat":"span","pid":%d,"tid":%d,"ts":%d.%03d,"dur":%d.%03d,"args":{"trace":%d,"label":%s,"arg":%d}}`,
+				jstr(s.Stage.String()+" "+s.Layer), s.Actor+1, tr.ID,
+				ns/1000, ns%1000, dur/1000, dur%1000, tr.ID, jstr(tr.Label), s.Arg)
+		}
+	}
+	for _, a := range anomalies {
+		sep()
+		ns := int64(a.At)
+		fmt.Fprintf(&b, `{"ph":"i","name":%s,"cat":"anomaly","pid":0,"tid":0,"ts":%d.%03d,"s":"g","args":{"detail":%s}}`,
+			jstr("anomaly:"+a.Kind), ns/1000, ns%1000, jstr(a.Detail))
+	}
+	if o != nil && o.Metrics != nil {
+		o.PublishSelfMetrics()
+		var mb bytes.Buffer
+		if err := o.Metrics.Snapshot().WriteJSON(&mb); err == nil {
+			sep()
+			fmt.Fprintf(&b, `{"ph":"M","name":"fbufs_metrics","pid":0,"tid":0,"args":{"snapshot":%s}}`,
+				mb.String())
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// DumpIfTripped writes the dump to path when an anomaly has fired and
+// reports whether it did. Safe on nil.
+func (fr *FlightRecorder) DumpIfTripped(path string) (bool, error) {
+	tripped, _ := fr.Tripped()
+	if !tripped {
+		return false, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return true, err
+	}
+	if err := fr.WriteDump(f); err != nil {
+		f.Close()
+		return true, err
+	}
+	return true, f.Close()
+}
+
+// jstr renders s as a JSON string literal (mirrors the obs exporter).
+func jstr(s string) string {
+	data, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `"?"`
+	}
+	return string(data)
+}
+
+// sortInts is sort.Ints without pulling extra weight into the hot file.
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
+)
+
+func newObsWithSpans() *obs.Observer {
+	o := obs.New(64)
+	o.Spans = span.NewRecorder(16)
+	return o
+}
+
+func runTrace(o *obs.Observer, dur int64) {
+	id := o.BeginTrace("data", 4096)
+	o.SpanBegin(span.StageIPC, "ipc", 2, 0)
+	o.SpanEnd()
+	o.Spans.Record(id, span.StageLink, "net", span.NoActor, 0, 10, 0)
+	o.Spans.EndTrace(id, 0)
+	_ = dur
+}
+
+func TestFlightRecorderRingBound(t *testing.T) {
+	fr := NewFlightRecorder(nil, 2)
+	for i := 0; i < 5; i++ {
+		fr.OnTrace(span.Trace{ID: uint64(i + 1)})
+	}
+	got := fr.Traces()
+	if len(got) != 2 || got[0].ID != 4 || got[1].ID != 5 {
+		t.Fatalf("retained = %+v, want traces 4, 5", got)
+	}
+}
+
+func TestLatencyTrigger(t *testing.T) {
+	fr := NewFlightRecorder(nil, 4)
+	fr.SetLatencyThreshold("data", 100)
+	fr.OnTrace(span.Trace{ID: 1, Label: "data", Start: 0, End: 90})
+	if tripped, _ := fr.Tripped(); tripped {
+		t.Fatal("tripped below threshold")
+	}
+	fr.OnTrace(span.Trace{ID: 2, Label: "ack", Start: 0, End: 500})
+	if tripped, _ := fr.Tripped(); tripped {
+		t.Fatal("tripped on non-matching label")
+	}
+	fr.OnTrace(span.Trace{ID: 3, Label: "data", Start: 0, End: 500})
+	tripped, a := fr.Tripped()
+	if !tripped || a.Kind != "latency" {
+		t.Fatalf("tripped=%v anomaly=%+v", tripped, a)
+	}
+}
+
+func TestScanEventsTrips(t *testing.T) {
+	o := obs.New(64)
+	fr := NewFlightRecorder(o, 4)
+	o.Emit(obs.EvAlloc, 1, 0, 0, 4) // benign
+	fr.ScanEvents()
+	if tripped, _ := fr.Tripped(); tripped {
+		t.Fatal("tripped on benign event")
+	}
+	o.Emit(obs.EvAllocFailed, 1, 0, 0, 4)
+	o.Emit(obs.EvCopyFallback, 2, 1, 0, 0)
+	fr.ScanEvents()
+	anoms := fr.Anomalies()
+	if len(anoms) != 2 || anoms[0].Kind != "alloc-failed" || anoms[1].Kind != "copy-fallback" {
+		t.Fatalf("anomalies = %+v", anoms)
+	}
+	// Cursor advanced: rescanning the same events must not re-trip.
+	fr.ScanEvents()
+	if len(fr.Anomalies()) != 2 {
+		t.Fatal("rescan duplicated anomalies")
+	}
+}
+
+// The dump must be valid Chrome trace-event JSON: loadable, with the
+// reserved host pid 0, complete ("X") span events, and anomaly instants.
+func TestDumpIsLoadablePerfetto(t *testing.T) {
+	o := newObsWithSpans()
+	p := NewProfiler()
+	fr := NewFlightRecorder(o, 8)
+	Attach(o, p, fr)
+	runTrace(o, 10)
+	fr.Trip(42, "test", "synthetic anomaly")
+
+	var buf bytes.Buffer
+	if err := fr.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Name string          `json:"name"`
+			Pid  int             `json:"pid"`
+			Tid  uint64          `json:"tid"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", dump.DisplayTimeUnit)
+	}
+	var sawHostMeta, sawSpan, sawAnomaly, sawMetrics bool
+	for _, e := range dump.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name" && e.Pid == 0:
+			sawHostMeta = true
+		case e.Ph == "X":
+			sawSpan = true
+			if e.Pid < 0 {
+				t.Fatalf("span event with negative pid: %+v", e)
+			}
+		case e.Ph == "i" && strings.HasPrefix(e.Name, "anomaly:"):
+			sawAnomaly = true
+		case e.Ph == "M" && e.Name == "fbufs_metrics":
+			sawMetrics = true
+		}
+	}
+	if !sawHostMeta || !sawSpan || !sawAnomaly || !sawMetrics {
+		t.Fatalf("dump missing sections: host=%v span=%v anomaly=%v metrics=%v",
+			sawHostMeta, sawSpan, sawAnomaly, sawMetrics)
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := fr.WriteDump(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("dump not deterministic")
+	}
+}
+
+func TestDumpIfTripped(t *testing.T) {
+	fr := NewFlightRecorder(nil, 2)
+	path := t.TempDir() + "/dump.json"
+	if wrote, err := fr.DumpIfTripped(path); wrote || err != nil {
+		t.Fatalf("untripped: wrote=%v err=%v", wrote, err)
+	}
+	fr.Trip(0, "test", "x")
+	wrote, err := fr.DumpIfTripped(path)
+	if !wrote || err != nil {
+		t.Fatalf("tripped: wrote=%v err=%v", wrote, err)
+	}
+}
+
+func TestNilFlightRecorder(t *testing.T) {
+	var fr *FlightRecorder
+	fr.OnTrace(span.Trace{})
+	fr.ScanEvents()
+	fr.Trip(0, "x", "y")
+	fr.SetLatencyThreshold("", 1)
+	if tripped, _ := fr.Tripped(); tripped {
+		t.Fatal("nil recorder tripped")
+	}
+	if fr.Traces() != nil || fr.Anomalies() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil dump not valid JSON")
+	}
+}

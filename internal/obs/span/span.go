@@ -1,0 +1,450 @@
+// Package span implements per-transfer tracing on the simulated clock:
+// every cross-domain transfer gets a trace ID that is carried through the
+// whole data path (vm -> core -> ipc -> aggregate -> osiris -> protocols ->
+// netsim), and every stage of the transfer (allocation, mapping, security,
+// the IPC crossing, protocol processing, DMA, link occupancy, free/notice)
+// records a child span charged in simulated time.
+//
+// The recorder mirrors the paper's evaluation need: Figure 5's argument is
+// a cost-attribution argument (control transfer dominates the cached path,
+// per-page work is marginal), so the profiler built on these spans
+// (internal/obs/profile) must know *where a given transfer's time went*,
+// not just the aggregate throughput.
+//
+// The package deliberately imports only simtime so every layer of the
+// simulation can depend on it without cycles. A nil *Recorder is valid and
+// ignores every call — the disabled fast path, matching the obs package's
+// nil-observer discipline.
+//
+// Concurrency: the recorder is mutex-guarded so a shared observer does not
+// race, but the begin/end stack assumes *sequential* emission — the
+// single-threaded event-driven simulation. The SMP bench harness does not
+// attach a span recorder.
+package span
+
+import (
+	"sync"
+
+	"fbufs/internal/simtime"
+)
+
+// Stage classifies what a span's time was spent on — the paper's cost
+// taxonomy as a small closed enum so the profiler can fold by stage.
+type Stage uint8
+
+// Stage values. StageTransfer is reserved for the synthesized root span of
+// a trace; StageWait is synthesized by the profiler for root time not
+// covered by any child (queueing, scheduling, link propagation gaps).
+const (
+	StageNone Stage = iota
+	StageTransfer
+	StageAlloc
+	StageMap
+	StageSecure
+	StageIPC
+	StageProto
+	StageDMA
+	StageLink
+	StageFree
+	StageNotice
+	StageFault
+	StageCopy
+	StageWait
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageNone:     "none",
+	StageTransfer: "transfer",
+	StageAlloc:    "alloc",
+	StageMap:      "map",
+	StageSecure:   "secure",
+	StageIPC:      "ipc",
+	StageProto:    "proto",
+	StageDMA:      "dma",
+	StageLink:     "link",
+	StageFree:     "free",
+	StageNotice:   "notice",
+	StageFault:    "fault",
+	StageCopy:     "copy",
+	StageWait:     "wait",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage(?)"
+}
+
+// RootID is the span ID of the synthesized per-trace root span; child spans
+// recorded while no other span was open have Parent == RootID.
+const RootID = 1
+
+// NoActor marks a span not attributable to a domain (mirrors obs.NoActor).
+const NoActor = -1
+
+// Span is one timed stage of a transfer.
+type Span struct {
+	Trace  uint64       // owning trace ID (0: recorded outside any trace)
+	ID     uint32       // per-trace span ID; RootID for the root
+	Parent uint32       // enclosing span's ID, RootID for top-level spans
+	Stage  Stage        //
+	Layer  string       // emitting layer ("core", "ipc", "udp", "driver", ...)
+	Actor  int          // domain ID + host trace base, or NoActor
+	Start  simtime.Time //
+	End    simtime.Time //
+	Arg    int64        // stage-specific payload (pages, bytes, descriptors)
+}
+
+// Dur is the span's inclusive duration.
+func (s Span) Dur() simtime.Duration { return simtime.Duration(s.End - s.Start) }
+
+// Trace is one completed end-to-end transfer: the root interval plus every
+// child span, in completion order. Spans[0] is always the synthesized root
+// (ID RootID, Stage StageTransfer).
+type Trace struct {
+	ID    uint64
+	Label string // transfer class ("data", "ack", "hop"): the profiler's path key
+	Start simtime.Time
+	End   simtime.Time
+	Arg   int64 // trace payload (message bytes)
+	Spans []Span
+}
+
+// Dur is the end-to-end duration of the transfer.
+func (t Trace) Dur() simtime.Duration { return simtime.Duration(t.End - t.Start) }
+
+// openTrace accumulates completed spans for a trace that has not finished.
+type openTrace struct {
+	start  simtime.Time
+	label  string
+	arg    int64
+	nextID uint32
+	spans  []Span
+	// ending is set once EndTrace ran while stack spans of this trace were
+	// still open (the sink's Deliver ends the trace before the delivery
+	// chain unwinds); the trace finalizes when the last of them ends.
+	ending bool
+	endAt  simtime.Time
+}
+
+// Recorder collects spans into traces. It keeps a bounded ring of the most
+// recently completed traces (the flight recorder's raw material) and
+// invokes an optional completion callback (the profiler's feed).
+type Recorder struct {
+	mu        sync.Mutex
+	nextTrace uint64
+	cur       uint64 // trace the current activation charges spans to
+	stack     []Span // open spans, innermost last
+	open      map[uint64]*openTrace
+	done      []Trace // ring of completed traces
+	next, n   int
+	completed uint64 // traces ever completed
+	dropped   uint64 // spans or traces discarded by bounds
+
+	onComplete func(Trace)
+
+	maxOpen  int // open-trace bound: oldest aborted beyond this
+	maxSpans int // per-trace span bound: excess spans dropped
+}
+
+// Defaults for the recorder's bounds; generous for the simulation's message
+// sizes (a 1 MB fig5 message is ~64 PDUs, each a handful of spans).
+const (
+	defaultMaxOpen  = 256
+	defaultMaxSpans = 4096
+)
+
+// NewRecorder creates a recorder that retains the last completedCap traces.
+func NewRecorder(completedCap int) *Recorder {
+	if completedCap < 1 {
+		completedCap = 1
+	}
+	return &Recorder{
+		open:     make(map[uint64]*openTrace),
+		done:     make([]Trace, completedCap),
+		maxOpen:  defaultMaxOpen,
+		maxSpans: defaultMaxSpans,
+	}
+}
+
+// OnComplete installs a callback invoked (outside the recorder's lock) with
+// every completed trace. Safe on nil.
+func (r *Recorder) OnComplete(fn func(Trace)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onComplete = fn
+	r.mu.Unlock()
+}
+
+// BeginTrace opens a new trace starting now and makes it current. label
+// names the transfer class (the profiler's per-path key); arg is the trace
+// payload (message bytes). Returns the trace ID (never 0).
+func (r *Recorder) BeginTrace(now simtime.Time, label string, arg int64) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.open) >= r.maxOpen {
+		// Evict the oldest open trace — a lossy-link run never finishes
+		// traces whose PDUs were dropped, and the recorder must stay bounded.
+		var oldest uint64
+		for id := range r.open {
+			if oldest == 0 || id < oldest {
+				oldest = id
+			}
+		}
+		delete(r.open, oldest)
+		r.dropped++
+	}
+	r.nextTrace++
+	id := r.nextTrace
+	r.open[id] = &openTrace{start: now, label: label, arg: arg, nextID: RootID + 1}
+	r.cur = id
+	return id
+}
+
+// Record appends an already-timed span to a trace, bypassing the begin/end
+// stack — for intervals whose start and end are known on the scheduler
+// timeline rather than bracketing the caller's own execution (a PDU's link
+// occupancy, a DMA window). The span becomes a direct child of the root.
+func (r *Recorder) Record(trace uint64, stage Stage, layer string, actor int, start, end simtime.Time, arg int64) {
+	if r == nil || trace == 0 {
+		return
+	}
+	r.mu.Lock()
+	ot := r.open[trace]
+	if ot == nil {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	if len(ot.spans) >= r.maxSpans {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	s := Span{
+		Trace: trace, ID: ot.nextID, Parent: RootID, Stage: stage,
+		Layer: layer, Actor: actor, Start: start, End: end, Arg: arg,
+	}
+	ot.nextID++
+	ot.spans = append(ot.spans, s)
+	r.mu.Unlock()
+}
+
+// Current returns the trace the current activation charges spans to (0 when
+// none) — the value to stamp on a PDU that crosses to another host.
+func (r *Recorder) Current() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// Resume makes trace id current — called at the start of an activation that
+// continues a transfer begun elsewhere (the receive interrupt for a PDU
+// stamped with the trace, a deferred notice delivery). Resuming an unknown
+// or completed trace is harmless: its spans are discarded.
+func (r *Recorder) Resume(id uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur = id
+	r.mu.Unlock()
+}
+
+// Begin opens a span at now charged to the current trace. Every Begin must
+// be paired with an End on all return paths (the fbufvet obshook analyzer
+// enforces this statically).
+func (r *Recorder) Begin(stage Stage, layer string, actor int, now simtime.Time, arg int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s := Span{Trace: r.cur, Stage: stage, Layer: layer, Actor: actor, Start: now, Arg: arg}
+	if ot := r.open[r.cur]; r.cur != 0 && ot != nil {
+		s.ID = ot.nextID
+		ot.nextID++
+		s.Parent = RootID
+		if n := len(r.stack); n > 0 && r.stack[n-1].Trace == r.cur {
+			s.Parent = r.stack[n-1].ID
+		}
+	}
+	r.stack = append(r.stack, s)
+	r.mu.Unlock()
+}
+
+// End closes the innermost open span at now. An End with no open span is
+// ignored (the static pairing check makes this unreachable in-tree).
+func (r *Recorder) End(now simtime.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	n := len(r.stack)
+	if n == 0 {
+		r.mu.Unlock()
+		return
+	}
+	s := r.stack[n-1]
+	r.stack = r.stack[:n-1]
+	s.End = now
+	var fin *Trace
+	if ot := r.open[s.Trace]; s.Trace != 0 && ot != nil {
+		if len(ot.spans) < r.maxSpans {
+			ot.spans = append(ot.spans, s)
+		} else {
+			r.dropped++
+		}
+		if ot.ending && !r.traceOnStackLocked(s.Trace) {
+			fin = r.finalizeLocked(s.Trace, ot)
+		}
+	} else {
+		r.dropped++
+	}
+	cb := r.onComplete
+	r.mu.Unlock()
+	if fin != nil && cb != nil {
+		cb(*fin)
+	}
+}
+
+// EndTrace completes trace id at now — called where the transfer logically
+// ends (the sink's Deliver). If spans of the trace are still open on the
+// stack (the delivery chain has not unwound yet), finalization is deferred
+// until the last of them ends; the recorded end time is still now.
+func (r *Recorder) EndTrace(id uint64, now simtime.Time) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	ot := r.open[id]
+	if ot == nil {
+		r.mu.Unlock()
+		return
+	}
+	ot.ending = true
+	ot.endAt = now
+	var fin *Trace
+	if !r.traceOnStackLocked(id) {
+		fin = r.finalizeLocked(id, ot)
+	}
+	cb := r.onComplete
+	r.mu.Unlock()
+	if fin != nil && cb != nil {
+		cb(*fin)
+	}
+}
+
+// AbortTrace discards an open trace (transfer failed; its spans are not
+// folded into profiles). Spans of the trace still on the stack drain
+// harmlessly when they end.
+func (r *Recorder) AbortTrace(id uint64) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.open[id]; ok {
+		delete(r.open, id)
+		r.dropped++
+	}
+	if r.cur == id {
+		r.cur = 0
+	}
+	r.mu.Unlock()
+}
+
+// traceOnStackLocked reports whether any open span belongs to trace id.
+func (r *Recorder) traceOnStackLocked(id uint64) bool {
+	for i := range r.stack {
+		if r.stack[i].Trace == id {
+			return true
+		}
+	}
+	return false
+}
+
+// finalizeLocked moves an open trace to the completed ring and returns it.
+func (r *Recorder) finalizeLocked(id uint64, ot *openTrace) *Trace {
+	delete(r.open, id)
+	if r.cur == id {
+		r.cur = 0
+	}
+	spans := make([]Span, 0, len(ot.spans)+1)
+	spans = append(spans, Span{
+		Trace: id, ID: RootID, Stage: StageTransfer, Layer: "e2e",
+		Actor: NoActor, Start: ot.start, End: ot.endAt, Arg: ot.arg,
+	})
+	spans = append(spans, ot.spans...)
+	t := Trace{ID: id, Label: ot.label, Start: ot.start, End: ot.endAt, Arg: ot.arg, Spans: spans}
+	r.done[r.next] = t
+	r.next++
+	if r.next == len(r.done) {
+		r.next = 0
+	}
+	if r.n < len(r.done) {
+		r.n++
+	}
+	r.completed++
+	return &t
+}
+
+// Completed returns the retained completed traces, oldest first.
+func (r *Recorder) Completed() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]Trace, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.done)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.done[(start+i)%len(r.done)])
+	}
+	return out
+}
+
+// CompletedCount returns the number of traces ever completed.
+func (r *Recorder) CompletedCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completed
+}
+
+// OpenCount returns the number of traces begun but not yet completed.
+func (r *Recorder) OpenCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// Dropped returns how many spans and traces the bounds discarded.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

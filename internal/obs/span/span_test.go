@@ -1,0 +1,195 @@
+package span
+
+import (
+	"testing"
+
+	"fbufs/internal/simtime"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if id := r.BeginTrace(0, "t", 0); id != 0 {
+		t.Fatalf("nil BeginTrace = %d, want 0", id)
+	}
+	r.Begin(StageAlloc, "core", 1, 0, 0)
+	r.End(10)
+	r.EndTrace(1, 10)
+	r.Resume(1)
+	r.AbortTrace(1)
+	r.OnComplete(nil)
+	if r.Current() != 0 || r.Completed() != nil || r.OpenCount() != 0 ||
+		r.CompletedCount() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestTraceNesting(t *testing.T) {
+	r := NewRecorder(8)
+	id := r.BeginTrace(100, "t", 4096)
+	if id == 0 || r.Current() != id {
+		t.Fatalf("BeginTrace: id=%d current=%d", id, r.Current())
+	}
+	r.Begin(StageIPC, "ipc", 0, 110, 1) // outer
+	r.Begin(StageAlloc, "core", 1, 120, 2)
+	r.End(150) // alloc
+	r.End(200) // ipc
+	r.EndTrace(id, 300)
+
+	done := r.Completed()
+	if len(done) != 1 {
+		t.Fatalf("completed = %d traces, want 1", len(done))
+	}
+	tr := done[0]
+	if tr.ID != id || tr.Start != 100 || tr.End != 300 || tr.Arg != 4096 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Dur() != 200 {
+		t.Fatalf("trace dur = %v, want 200", tr.Dur())
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (root + 2)", len(tr.Spans))
+	}
+	root := tr.Spans[0]
+	if root.ID != RootID || root.Stage != StageTransfer || root.Dur() != 200 {
+		t.Fatalf("root = %+v", root)
+	}
+	// Completion order: innermost ends first.
+	alloc, ipc := tr.Spans[1], tr.Spans[2]
+	if alloc.Stage != StageAlloc || alloc.Dur() != 30 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+	if ipc.Stage != StageIPC || ipc.Dur() != 90 || ipc.Parent != RootID {
+		t.Fatalf("ipc = %+v", ipc)
+	}
+	if alloc.Parent != ipc.ID {
+		t.Fatalf("alloc.Parent = %d, want nested under ipc %d", alloc.Parent, ipc.ID)
+	}
+}
+
+// The sink's Deliver ends the trace while the delivery chain's spans are
+// still open; the trace must finalize only once they unwind, with the end
+// time recorded at the sink.
+func TestEndTraceDefersUntilStackUnwinds(t *testing.T) {
+	r := NewRecorder(4)
+	var got []Trace
+	r.OnComplete(func(tr Trace) { got = append(got, tr) })
+
+	id := r.BeginTrace(0, "t", 0)
+	r.Begin(StageProto, "udp", 0, 10, 0)
+	r.EndTrace(id, 50) // sink delivery inside udp.Deliver
+	if len(got) != 0 || r.CompletedCount() != 0 {
+		t.Fatal("trace finalized with spans still open")
+	}
+	r.End(60) // udp.Deliver unwinds after the sink
+	if len(got) != 1 {
+		t.Fatalf("completed = %d, want 1", len(got))
+	}
+	if got[0].End != 50 {
+		t.Fatalf("trace end = %v, want sink time 50", got[0].End)
+	}
+	if got[0].Spans[1].End != 60 {
+		t.Fatalf("proto span end = %v, want 60", got[0].Spans[1].End)
+	}
+}
+
+func TestResumeCrossHost(t *testing.T) {
+	r := NewRecorder(4)
+	id := r.BeginTrace(0, "t", 0)
+	r.Begin(StageDMA, "driver", 0, 10, 0)
+	r.End(20)
+	r.Resume(0) // activation boundary: back to the scheduler
+
+	// Peer host's receive interrupt resumes the stamped trace.
+	r.Resume(id)
+	r.Begin(StageDMA, "driver", 100, 200, 0)
+	r.End(230)
+	r.EndTrace(id, 250)
+
+	done := r.Completed()
+	if len(done) != 1 || len(done[0].Spans) != 3 {
+		t.Fatalf("completed = %+v", done)
+	}
+	if done[0].Spans[2].Actor != 100 {
+		t.Fatalf("rx span actor = %d, want 100", done[0].Spans[2].Actor)
+	}
+}
+
+func TestSpansOutsideTraceAreDropped(t *testing.T) {
+	r := NewRecorder(4)
+	r.Begin(StageAlloc, "core", 0, 0, 0)
+	r.End(10)
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+	// Resuming a completed/unknown trace discards spans harmlessly.
+	r.Resume(999)
+	r.Begin(StageAlloc, "core", 0, 0, 0)
+	r.End(10)
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	if r.CompletedCount() != 0 {
+		t.Fatal("no trace should have completed")
+	}
+}
+
+func TestAbortTrace(t *testing.T) {
+	r := NewRecorder(4)
+	id := r.BeginTrace(0, "t", 0)
+	r.Begin(StageAlloc, "core", 0, 0, 0)
+	r.AbortTrace(id)
+	r.End(10) // drains without effect
+	r.EndTrace(id, 20)
+	if r.CompletedCount() != 0 {
+		t.Fatal("aborted trace completed")
+	}
+	if r.Current() != 0 {
+		t.Fatalf("current = %d after abort", r.Current())
+	}
+}
+
+func TestOpenTraceBound(t *testing.T) {
+	r := NewRecorder(4)
+	r.maxOpen = 3
+	first := r.BeginTrace(0, "t", 0)
+	for i := 0; i < 3; i++ {
+		r.BeginTrace(simtime.Time(i), "t", 0)
+	}
+	if r.OpenCount() != 3 {
+		t.Fatalf("open = %d, want bound 3", r.OpenCount())
+	}
+	// The oldest was evicted; ending it is a no-op.
+	r.EndTrace(first, 100)
+	if r.CompletedCount() != 0 {
+		t.Fatal("evicted trace completed")
+	}
+}
+
+func TestCompletedRingWraps(t *testing.T) {
+	r := NewRecorder(2)
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		id := r.BeginTrace(simtime.Time(i), "t", 0)
+		ids = append(ids, id)
+		r.EndTrace(id, simtime.Time(i+10))
+	}
+	done := r.Completed()
+	if len(done) != 2 {
+		t.Fatalf("retained = %d, want 2", len(done))
+	}
+	if done[0].ID != ids[3] || done[1].ID != ids[4] {
+		t.Fatalf("retained wrong traces: %d, %d", done[0].ID, done[1].ID)
+	}
+	if r.CompletedCount() != 5 {
+		t.Fatalf("completed count = %d, want 5", r.CompletedCount())
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageAlloc.String() != "alloc" || StageTransfer.String() != "transfer" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(200).String() != "stage(?)" {
+		t.Fatal("out-of-range stage name")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
 	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 	"fbufs/internal/xkernel"
 )
@@ -50,6 +51,10 @@ type TxPDU struct {
 	// (ReceiveChecked) and discards corrupted PDUs. Computed in hardware,
 	// so no CPU cost is charged.
 	CRC uint32
+	// Trace is the transfer trace the PDU belongs to (0: untraced). It
+	// crosses the wire so the receiving host's spans land in the same
+	// trace — the cross-host leg of the latency attribution.
+	Trace uint64
 }
 
 // Driver is the Osiris device driver: the bottom layer of the protocol
@@ -160,6 +165,11 @@ func NewDriver(env *xkernel.Env, opts core.Options, rxDoms []*domain.Domain, rxP
 // a bus master reading the fbufs' frames directly) and queues it for
 // transmission, then releases the kernel's buffer references.
 func (d *Driver) Push(m *aggregate.Msg) error {
+	o := d.env.Sys.Obs
+	if o != nil {
+		o.SpanBegin(span.StageDMA, "osiris", int(d.Dom().ID)+d.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	d.env.Sys.Sink().Charge(d.env.Sys.Cost.DriverPerPDU)
 	data := make([]byte, 0, m.Len())
 	for _, s := range m.Segs() {
@@ -175,9 +185,12 @@ func (d *Driver) Push(m *aggregate.Msg) error {
 		}
 		data = append(data, chunk...)
 	}
-	d.txq = append(d.txq, TxPDU{VCI: d.TxVCI, Data: data, CPUOffset: d.CPUOffset(), CRC: crc32.ChecksumIEEE(data)})
+	d.txq = append(d.txq, TxPDU{
+		VCI: d.TxVCI, Data: data, CPUOffset: d.CPUOffset(),
+		CRC: crc32.ChecksumIEEE(data), Trace: o.CurrentTrace(),
+	})
 	d.TxPDUs++
-	if o := d.env.Sys.Obs; o != nil {
+	if o != nil {
 		o.Emit(obs.EvDMAStart, int(d.Dom().ID)+d.env.Sys.TraceBase, obs.NoTrack, 0, int64(len(data)))
 	}
 	return m.Free(d.Dom())
@@ -268,6 +281,10 @@ func (d *Driver) ReceiveChecked(v VCI, data []byte, crc uint32) error {
 // of the VCI's path — or an uncached fbuf for unknown circuits — and
 // delivers it up the stack).
 func (d *Driver) Receive(v VCI, data []byte) error {
+	if o := d.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageDMA, "osiris", int(d.Dom().ID)+d.env.Sys.TraceBase, int64(len(data)))
+		defer o.SpanEnd()
+	}
 	cost := d.env.Sys.Cost
 	d.env.Sys.Sink().Charge(cost.InterruptCost + cost.DriverPerPDU)
 	d.RxPDUs++

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fbufs/internal/aggregate"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/xkernel"
 )
 
@@ -67,6 +68,10 @@ func (ip *IP) header(id uint32, off, n, total int, more bool) []byte {
 // fragmentation path has a fixed setup cost — the source of the paper's
 // Figure 4 "anomaly" just above the 4 KB PDU size.
 func (ip *IP) Push(m *aggregate.Msg) error {
+	if o := ip.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageProto, "ip", int(ip.Dom().ID)+ip.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	id := ip.nextID
 	ip.nextID++
 	total := m.Len()
@@ -115,6 +120,10 @@ func (ip *IP) Push(m *aggregate.Msg) error {
 // Deliver reassembles fragments; a complete datagram goes up as a single
 // message joined in offset order.
 func (ip *IP) Deliver(m *aggregate.Msg) error {
+	if o := ip.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageProto, "ip", int(ip.Dom().ID)+ip.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	ip.env.Sys.Sink().Charge(ip.env.Sys.Cost.IPReassPerPDU)
 	ip.ReceivedPDUs++
 	if m.Len() < IPHeaderBytes {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbufs/internal/aggregate"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/xkernel"
 )
 
@@ -28,6 +29,10 @@ func NewLoopback(env *xkernel.Env, ctx *aggregate.Ctx) *Loopback {
 
 // Push charges driver processing and immediately delivers the PDU back up.
 func (l *Loopback) Push(m *aggregate.Msg) error {
+	if o := l.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageDMA, "loopback", int(l.Dom().ID)+l.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	l.env.Sys.Sink().Charge(l.env.Sys.Cost.DriverPerPDU)
 	l.PDUs++
 	return l.DeliverAbove(m)

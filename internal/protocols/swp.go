@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fbufs/internal/aggregate"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 	"fbufs/internal/xkernel"
 )
@@ -140,6 +141,10 @@ func (s *SWP) header(kind byte, seq uint64) []byte {
 
 // Push accepts one message for reliable, in-order delivery to the peer.
 func (s *SWP) Push(m *aggregate.Msg) error {
+	if o := s.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageProto, "swp", int(s.Dom().ID)+s.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	if s.Err != nil {
 		return s.Err
 	}
@@ -230,6 +235,10 @@ func (s *SWP) timeout(seq uint64, gen uint64) {
 // Deliver handles an arriving PDU from the peer: data (buffer, order,
 // acknowledge) or a cumulative ack (open the window).
 func (s *SWP) Deliver(m *aggregate.Msg) error {
+	if o := s.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageProto, "swp", int(s.Dom().ID)+s.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	if m.Len() < SWPHeaderBytes {
 		return m.Free(s.Dom())
 	}

@@ -14,6 +14,7 @@ import (
 	"fbufs/internal/aggregate"
 	"fbufs/internal/machine"
 	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 	"fbufs/internal/xkernel"
 )
@@ -82,6 +83,10 @@ func (s *Session) Deliver(m *aggregate.Msg) error {
 func (u *UDP) Push(m *aggregate.Msg) error { return u.push(m, u.LocalPort, u.RemotePort) }
 
 func (u *UDP) push(m *aggregate.Msg, local, remote uint16) error {
+	if o := u.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageProto, "udp", int(u.Dom().ID)+u.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	u.env.Sys.Sink().Charge(u.env.Sys.Cost.UDPPerMsg)
 	u.emitPkt(obs.EvPktSend, m.Len())
 	var hdr [UDPHeaderBytes]byte
@@ -115,6 +120,10 @@ func (u *UDP) emitPkt(kind obs.EventKind, bytes int) {
 
 // Deliver strips the header and demultiplexes on the destination port.
 func (u *UDP) Deliver(m *aggregate.Msg) error {
+	if o := u.env.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageProto, "udp", int(u.Dom().ID)+u.env.Sys.TraceBase, int64(m.Len()))
+		defer o.SpanEnd()
+	}
 	u.env.Sys.Sink().Charge(u.env.Sys.Cost.UDPPerMsg)
 	u.emitPkt(obs.EvPktRecv, m.Len())
 	if m.Len() < UDPHeaderBytes {

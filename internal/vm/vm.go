@@ -24,6 +24,7 @@ import (
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
 	"fbufs/internal/obs"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 )
 
@@ -543,35 +544,46 @@ func (as *AddrSpace) Translate(va VA, write bool) (mem.FrameNum, error) {
 		if ok && pte.Prot&need != 0 {
 			return pte.Frame, nil
 		}
-		// Fault path.
-		atomic.AddUint64(&sys.Faults, 1)
-		sys.charge(sys.Cost.FaultTrap)
-		if sys.Obs != nil {
-			sys.Obs.Emit(obs.EvPageFault, as.traceActor(), obs.NoTrack, 0, int64(va.VPN()))
+		// Fault path; on a nil return the translation is retried.
+		if err := as.fault(va, write, pte, ok, attempt); err != nil {
+			return mem.NoFrame, err
 		}
-		if ok && pte.COW && write {
-			if err := as.resolveCOW(va, pte); err != nil {
-				return mem.NoFrame, err
-			}
-			continue
-		}
-		if attempt == 0 {
-			if r := as.FindRegion(va); r != nil && r.Handler != nil {
-				if err := r.Handler(as, va, write); err == nil {
-					continue
-				} else {
-					atomic.AddUint64(&sys.Violations, 1)
-					return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: err}
-				}
-			}
-		}
-		atomic.AddUint64(&sys.Violations, 1)
-		cause := ErrNoMapping
-		if ok {
-			cause = fmt.Errorf("protection %v denies access", pte.Prot)
-		}
-		return mem.NoFrame, &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: cause}
 	}
+}
+
+// fault handles one failed translation attempt: trap charge, COW
+// resolution, region handlers. A nil return means the fault was handled
+// and the translation should be retried.
+func (as *AddrSpace) fault(va VA, write bool, pte PTE, ok bool, attempt int) error {
+	sys := as.Sys
+	atomic.AddUint64(&sys.Faults, 1)
+	if sys.Obs != nil {
+		sys.Obs.SpanBegin(span.StageFault, "vm", as.traceActor(), int64(va.VPN()))
+		defer sys.Obs.SpanEnd()
+	}
+	sys.charge(sys.Cost.FaultTrap)
+	if sys.Obs != nil {
+		sys.Obs.Emit(obs.EvPageFault, as.traceActor(), obs.NoTrack, 0, int64(va.VPN()))
+	}
+	if ok && pte.COW && write {
+		return as.resolveCOW(va, pte)
+	}
+	if attempt == 0 {
+		if r := as.FindRegion(va); r != nil && r.Handler != nil {
+			if err := r.Handler(as, va, write); err == nil {
+				return nil
+			} else {
+				atomic.AddUint64(&sys.Violations, 1)
+				return &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: err}
+			}
+		}
+	}
+	atomic.AddUint64(&sys.Violations, 1)
+	cause := ErrNoMapping
+	if ok {
+		cause = fmt.Errorf("protection %v denies access", pte.Prot)
+	}
+	return &AccessError{ASID: as.ASID, VA: va, Write: write, Cause: cause}
 }
 
 // resolveCOW handles a write fault on a COW page: if the frame is shared,

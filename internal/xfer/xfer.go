@@ -28,6 +28,7 @@ import (
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
+	"fbufs/internal/obs/span"
 	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 )
@@ -110,8 +111,25 @@ func copyCost(cost *machine.CostTable, n int) simtime.Duration {
 	return simtime.Duration(int64(cost.PageCopy) * int64(n) / machine.PageSize)
 }
 
-// Hop writes, copies in, copies out, reads.
+// Hop writes, copies in, copies out, reads. Each hop is its own
+// "hop"-labeled trace so the copy baseline profiles alongside fbufs.
 func (c *Copier) Hop() error {
+	o := c.sys.Obs
+	tid := o.BeginTrace("hop", int64(c.bytes))
+	err := c.hop()
+	if err != nil {
+		o.AbortTrace(tid)
+		return err
+	}
+	o.EndTrace(tid)
+	return nil
+}
+
+func (c *Copier) hop() error {
+	if o := c.sys.Obs; o != nil {
+		o.SpanBegin(span.StageCopy, "xfer", int(c.src.ID)+c.sys.TraceBase, int64(c.bytes))
+		defer o.SpanEnd()
+	}
 	if err := touchWritePages(c.src.AS, c.srcVA, c.bytes); err != nil {
 		return err
 	}
@@ -144,6 +162,12 @@ func (c *Copier) Hop() error {
 // configured message size. Integrity tests (and the chaos harness's
 // degraded path) verify the returned bytes against the input.
 func (c *Copier) Send(payload []byte) ([]byte, error) {
+	// No trace of its own: the copy-fallback path runs Send inside the
+	// caller's transfer trace, and the span charges there.
+	if o := c.sys.Obs; o != nil {
+		o.SpanBegin(span.StageCopy, "xfer", int(c.src.ID)+c.sys.TraceBase, int64(len(payload)))
+		defer o.SpanEnd()
+	}
 	if len(payload) > c.pages*machine.PageSize {
 		return nil, fmt.Errorf("xfer: payload %d exceeds copier capacity %d", len(payload), c.pages*machine.PageSize)
 	}
@@ -497,8 +521,21 @@ func FbufLabel(opts core.Options) string {
 func (f *FbufFacility) Name() string  { return f.label }
 func (f *FbufFacility) MsgBytes() int { return f.bytes }
 
-// Hop performs the alloc/write/transfer/read/free cycle.
+// Hop performs the alloc/write/transfer/read/free cycle. Each hop is its
+// own "hop"-labeled trace; the stage spans come from the core layer.
 func (f *FbufFacility) Hop() error {
+	o := f.mgr.Sys.Obs
+	tid := o.BeginTrace("hop", int64(f.bytes))
+	err := f.hop()
+	if err != nil {
+		o.AbortTrace(tid)
+		return err
+	}
+	o.EndTrace(tid)
+	return nil
+}
+
+func (f *FbufFacility) hop() error {
 	var fb *core.Fbuf
 	var err error
 	if f.path != nil {
@@ -532,6 +569,18 @@ func (f *FbufFacility) Hop() error {
 // free both references. Allocation failures propagate (ErrQuota,
 // ErrRegionFull, mem.ErrOutOfMemory) so an adaptive caller can degrade.
 func (f *FbufFacility) Send(payload []byte) ([]byte, error) {
+	o := f.mgr.Sys.Obs
+	tid := o.BeginTrace("hop", int64(len(payload)))
+	out, err := f.send(payload)
+	if err != nil {
+		o.AbortTrace(tid)
+		return nil, err
+	}
+	o.EndTrace(tid)
+	return out, nil
+}
+
+func (f *FbufFacility) send(payload []byte) ([]byte, error) {
 	var fb *core.Fbuf
 	var err error
 	if f.path != nil {
