@@ -1,12 +1,19 @@
 // Package analysis is fbufvet's compile-time invariant analyzer suite: a
 // self-contained static-analysis framework (modelled on the
 // golang.org/x/tools/go/analysis API, but built entirely on the standard
-// library so the repo stays dependency-free) plus the five analyzers that
+// library so the repo stays dependency-free) plus the six analyzers that
 // machine-check the fbuf protocol discipline the paper's safety argument
 // rests on:
 //
 //   - fbufcheck: immutability after Transfer, Secure-before-trust on
-//     volatile paths, and double-Free detection (sections 2.1.3, 3.2.4).
+//     volatile paths, and double-Free detection (sections 2.1.3, 3.2.4),
+//     function-local and batch-aware (FreeBatch/AllocBatch).
+//   - fbuflife: the interprocedural lifecycle typestate analysis — a
+//     per-function CFG dataflow engine plus bottom-up call-graph
+//     summaries (DESIGN.md §13) — catching leaks, use-after-transfer,
+//     and double frees that cross helper-function boundaries, batch
+//     element ownership, and goroutine handoffs without a transfer
+//     point.
 //   - errflow: errors from the core/aggregate/vm APIs encode protection
 //     faults and must never be silently discarded.
 //   - detlint: the simulator's determinism contract — no wall-clock time,
@@ -73,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full fbufvet suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FbufCheck, ErrFlow, DetLint, ObsHook, LockOrder}
+	return []*Analyzer{FbufCheck, FbufLife, ErrFlow, DetLint, ObsHook, LockOrder}
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -104,8 +111,32 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 		}
 		out = append(out, pass.diags...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
-	return out, nil
+	return dedupeDiagnostics(out), nil
+}
+
+// dedupeDiagnostics sorts findings into a stable (position, category,
+// message) order — independent of analyzer registration order — and
+// drops exact duplicates at one position (several analyzers convicting
+// the same line with the same words should read as one finding).
+func dedupeDiagnostics(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d.Pos == out[len(out)-1].Pos && d.Message == out[len(out)-1].Message {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // NewTypesInfo allocates a types.Info with every map analyzers consume.

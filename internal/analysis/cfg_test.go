@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of its first function.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function body")
+	return nil
+}
+
+// reaches reports whether to is reachable from from by successor edges.
+func reaches(from, to *CFGBlock) bool {
+	seen := map[*CFGBlock]bool{}
+	var walk func(b *CFGBlock) bool
+	walk = func(b *CFGBlock) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f() { x := 1; _ = x }`))
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("Entry does not reach Exit")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Errorf("entry block has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(c bool) { if c { println(1) } else { println(2) }; println(3) }`))
+	// Find the branching block: Cond set, exactly two successors.
+	var cond *CFGBlock
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block with Cond set")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond block has %d successors, want 2 (true/false)", len(cond.Succs))
+	}
+	if cond.Succs[0] == cond.Succs[1] {
+		t.Error("then and else arms share a block")
+	}
+	// Both arms rejoin before Exit.
+	for i, arm := range cond.Succs {
+		if !reaches(arm, g.Exit) {
+			t.Errorf("arm %d does not reach Exit", i)
+		}
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f() { for i := 0; i < 3; i++ { println(i) } }`))
+	// The loop head (Cond set) must be reachable from its own body: a back
+	// edge is what lets the dataflow fixpoint see second-iteration facts.
+	var head *CFGBlock
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head with Cond")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop head has %d successors, want 2", len(head.Succs))
+	}
+	body := head.Succs[0]
+	if !reaches(body, head) {
+		t.Error("no back edge: loop body does not reach the head")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("loop exit path missing")
+	}
+}
+
+func TestCFGRangeHead(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(xs []int) { for _, x := range xs { println(x) } }`))
+	var head *CFGBlock
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block carries the RangeStmt binding node")
+	}
+	if head.Cond != nil {
+		t.Error("range head must not claim a boolean Cond")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body, after)", len(head.Succs))
+	}
+	if !reaches(head.Succs[0], head) {
+		t.Error("range body has no back edge to the head")
+	}
+}
+
+func TestCFGReturnBreakGoto(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(c bool) {
+	if c {
+		return
+	}
+loop:
+	for {
+		if c {
+			break loop
+		}
+		goto done
+	}
+done:
+	println(0)
+}`))
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("Entry does not reach Exit")
+	}
+	// The infinite for{} must not strand the exit: break and goto both
+	// leave it. Verify via reachableBlocks that Exit is in the order.
+	order := g.reachableBlocks()
+	if len(order) == 0 || order[0] != g.Entry {
+		t.Fatal("reverse postorder must start at Entry")
+	}
+	foundExit := false
+	for _, b := range order {
+		if b == g.Exit {
+			foundExit = true
+		}
+	}
+	if !foundExit {
+		t.Error("Exit unreachable despite break/goto escape paths")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+		fallthrough
+	case 2:
+		println(2)
+	default:
+		println(3)
+	}
+}`))
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("Entry does not reach Exit")
+	}
+	// With a default present, the dispatch block must not edge straight to
+	// the after block: some case always runs. The dispatch block is the one
+	// holding the tag expression x with >= 3 successors.
+	var dispatch *CFGBlock
+	for _, b := range g.Blocks {
+		if len(b.Succs) >= 3 {
+			dispatch = b
+		}
+	}
+	if dispatch == nil {
+		t.Fatal("no dispatch block with one successor per case")
+	}
+	if len(dispatch.Succs) != 3 {
+		t.Errorf("dispatch has %d successors, want 3 (two cases + default)", len(dispatch.Succs))
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(c bool) {
+	defer println(1)
+	if c {
+		defer println(2)
+	}
+}`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2 (including the conditional one)", len(g.Defers))
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("Entry does not reach Exit")
+	}
+}
+
+func TestCFGReversePostorder(t *testing.T) {
+	g := buildCFG(parseBody(t, `package p
+func f(c bool) {
+	if c {
+		println(1)
+	}
+	println(2)
+}`))
+	order := g.reachableBlocks()
+	pos := map[*CFGBlock]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	if order[0] != g.Entry {
+		t.Fatal("RPO must begin at Entry")
+	}
+	// In RPO every forward edge goes left to right (back edges exempt; this
+	// graph has none).
+	for _, b := range order {
+		for _, s := range b.Succs {
+			if ps, ok := pos[s]; ok && ps < pos[b] {
+				t.Errorf("forward edge %d->%d violates reverse postorder", b.Index, s.Index)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"testing"
+
+	"fbufs/internal/conformance"
+)
+
+// TestLifecycleCrossCheck locks the static and dynamic lifecycle oracles
+// together: every lifecycle rule the conformance reference model
+// enforces must either appear in the fbuflife typestate tables (by rule
+// name) or carry a documented exclusion saying which mechanism owns it
+// instead — and every rule the typestate tables cite must exist in the
+// model's catalogue. Adding a rule to one side without the other fails
+// here, which is the whole point.
+func TestLifecycleCrossCheck(t *testing.T) {
+	static := StaticLifecycleRules()
+	catalogue := conformance.LifecycleRules()
+
+	seen := map[string]bool{}
+	for _, r := range catalogue {
+		if r.Name == "" || r.Paper == "" || r.Desc == "" {
+			t.Errorf("rule %+v: Name, Paper, and Desc are all required", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("rule %q listed twice in conformance.LifecycleRules", r.Name)
+		}
+		seen[r.Name] = true
+
+		covered := static[r.Name]
+		switch {
+		case covered && r.StaticExclusion != "":
+			t.Errorf("rule %q is in the fbuflife typestate tables AND carries a static exclusion (%q): drop one",
+				r.Name, r.StaticExclusion)
+		case !covered && r.StaticExclusion == "":
+			t.Errorf("rule %q is enforced by the conformance model but neither encoded in the fbuflife typestate tables nor excluded with a reason",
+				r.Name)
+		}
+	}
+
+	// The reverse direction: a typestate edge citing a rule the model
+	// does not document is a phantom rule.
+	for name := range static {
+		if !seen[name] {
+			t.Errorf("typestate tables cite rule %q, which conformance.LifecycleRules does not document", name)
+		}
+	}
+}

@@ -21,6 +21,12 @@ import (
 //     free corrupts the reference count of a buffer that may already be
 //     recycled.
 //
+// The rules are batch-aware: FreeBatch(bufs, d) counts as a Free of
+// every element (so a later Free of bufs[i] by the same domain is a
+// double free, and vice versa), AllocBatch(bufs) resets the whole
+// batch, and two concrete distinct indices (bufs[0] vs bufs[1]) never
+// alias each other.
+//
 // The analysis is function-local and syntactic over a may-precede order:
 // an event inside a conditional is still considered to precede later
 // statements (a deliberate, documented source of conservative false
@@ -165,6 +171,16 @@ func checkFbufBody(pass *Pass, body *ast.BlockStmt) {
 			add("read", exprKey(info, receiverOf(call)), exprKey(info, call.Args[0]), call, call)
 		case recvTypeIs(fn, "core", "Manager") && fn.Name() == "Free" && len(call.Args) == 2:
 			add("free", exprKey(info, call.Args[0]), exprKey(info, call.Args[1]), call, call)
+		case recvTypeIs(fn, "core", "Manager") && fn.Name() == "FreeBatch" && len(call.Args) == 2:
+			// A whole-batch free covers every element of the slice.
+			if key := exprKey(info, call.Args[0]); key != "" {
+				add("free", key+batchAll, exprKey(info, call.Args[1]), call, call)
+			}
+		case recvTypeIs(fn, "core", "DataPath") && fn.Name() == "AllocBatch" && len(call.Args) == 1:
+			// Refilling a batch resets every element it covers.
+			if key := exprKey(info, call.Args[0]); key != "" {
+				add("reset", key+batchAll, "", call, call)
+			}
 		case recvTypeIs(fn, "core", "Manager") && fn.Name() == "Secure" && len(call.Args) == 2:
 			add("secure", exprKey(info, call.Args[0]), exprKey(info, call.Args[1]), call, call)
 		}
@@ -174,7 +190,7 @@ func checkFbufBody(pass *Pass, body *ast.BlockStmt) {
 	reset := func(f string, a, b *fbufEvent) bool {
 		for i := range events {
 			r := &events[i]
-			if r.kind == "reset" && r.f == f &&
+			if r.kind == "reset" && keysOverlap(r.f, f) &&
 				mayPrecede(a.path, r.path) && mayPrecede(r.path, b.path) {
 				return true
 			}
@@ -190,7 +206,7 @@ func checkFbufBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		for j := range events {
 			t := &events[j]
-			if t.kind != "transfer" || t.f != w.f || !mayPrecede(t.path, w.path) {
+			if t.kind != "transfer" || !keysOverlap(t.f, w.f) || !mayPrecede(t.path, w.path) {
 				continue
 			}
 			if reset(w.f, t, w) {
@@ -247,7 +263,7 @@ func checkFbufBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		for j := range events {
 			b := &events[j]
-			if b == a || b.kind != "free" || b.f != a.f || b.dom != a.dom {
+			if b == a || b.kind != "free" || !keysOverlap(b.f, a.f) || b.dom != a.dom {
 				continue
 			}
 			if !mayPrecede(a.path, b.path) || reset(a.f, a, b) {

@@ -9,9 +9,9 @@ func TestObsHook(t *testing.T) {
 }
 
 // TestSuiteRegistry pins the analyzer set and name lookup: the CI vettool
-// and the docs both enumerate these five.
+// and the docs both enumerate these six.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"fbufcheck", "errflow", "detlint", "obshook", "lockorder"}
+	want := []string{"fbufcheck", "fbuflife", "errflow", "detlint", "obshook", "lockorder"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(all), len(want))

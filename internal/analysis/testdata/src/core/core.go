@@ -32,11 +32,32 @@ func (m *Manager) AllocUncached(orig *Domain, pages int, opts Options) (*Fbuf, e
 	return &Fbuf{}, nil
 }
 
+func (m *Manager) AllocUncachedFill(orig *Domain, pages int, opts Options, fill int) (*Fbuf, error) {
+	return &Fbuf{}, nil
+}
+
 func (m *Manager) Transfer(f *Fbuf, from, to *Domain) error { return nil }
 func (m *Manager) Secure(f *Fbuf, requester *Domain) error  { return nil }
 func (m *Manager) Free(f *Fbuf, d *Domain) error            { return nil }
+func (m *Manager) FreeBatch(fs []*Fbuf, d *Domain) error    { return nil }
+func (m *Manager) DupRef(f *Fbuf, d *Domain) error          { return nil }
 
 func (p *DataPath) Alloc() (*Fbuf, error) { return &Fbuf{}, nil }
+
+func (p *DataPath) AllocBatch(out []*Fbuf) (int, error) {
+	for i := range out {
+		out[i] = &Fbuf{}
+	}
+	return len(out), nil
+}
+
+// Magazine mirrors core.Magazine (per-CPU alloc/free caching).
+type Magazine struct{}
+
+func (p *DataPath) NewMagazine(capacity int) *Magazine { return &Magazine{} }
+func (g *Magazine) Alloc() (*Fbuf, error)              { return &Fbuf{}, nil }
+func (g *Magazine) Free(f *Fbuf, d *Domain) error      { return nil }
+func (g *Magazine) Drain()                             {}
 
 func (f *Fbuf) Write(d *Domain, off int, p []byte) error { return nil }
 func (f *Fbuf) Read(d *Domain, off int, p []byte) error  { return nil }

@@ -74,6 +74,7 @@ func VetMain() {
 		enabled[a.Name] = fs.Bool(a.Name, true, firstLine(a.Doc))
 	}
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 on stdout")
 
 	// Handshake 2: advertise flags so `go vet -fbufcheck=false` works.
 	for _, a := range args {
@@ -83,6 +84,7 @@ func VetMain() {
 				out = append(out, vetFlag{Name: an.Name, Bool: true, Usage: firstLine(an.Doc)})
 			}
 			out = append(out, vetFlag{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"})
+			out = append(out, vetFlag{Name: "sarif", Bool: true, Usage: "emit diagnostics as SARIF 2.1.0 on stdout"})
 			sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 			if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -105,10 +107,10 @@ func VetMain() {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		os.Exit(runUnitChecker(rest[0], run, *jsonOut))
+		os.Exit(runUnitChecker(rest[0], run, *jsonOut, *sarifOut))
 	}
 	// Standalone mode: fbufvet [patterns] run from inside the module.
-	os.Exit(runStandalone(rest, run))
+	os.Exit(runStandalone(rest, run, *jsonOut, *sarifOut))
 }
 
 func firstLine(s string) string {
@@ -121,7 +123,7 @@ func firstLine(s string) string {
 // runUnitChecker analyzes the single package described by cfgPath,
 // printing findings in file:line:col form. Exit 0 on clean, 2 on
 // findings, 1 on internal error — the codes cmd/go expects.
-func runUnitChecker(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
+func runUnitChecker(cfgPath string, analyzers []*Analyzer, jsonOut, sarifOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -195,6 +197,16 @@ func runUnitChecker(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	if sarifOut {
+		if err := WriteSARIF(os.Stdout, fset, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(diags) == 0 {
+			return 0
+		}
+		return 2
+	}
 	if len(diags) == 0 {
 		return 0
 	}
@@ -203,8 +215,10 @@ func runUnitChecker(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
 }
 
 // runStandalone analyzes module packages from the working directory —
-// the direct `fbufvet ./...` mode used outside go vet.
-func runStandalone(patterns []string, analyzers []*Analyzer) int {
+// the direct `fbufvet ./...` mode used outside go vet. Findings across
+// all packages are combined into one report, so -sarif (and -json)
+// yield a single document suitable for archiving as a CI artifact.
+func runStandalone(patterns []string, analyzers []*Analyzer, jsonOut, sarifOut bool) int {
 	root, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -221,6 +235,7 @@ func runStandalone(patterns []string, analyzers []*Analyzer) int {
 		return 1
 	}
 	exit := 0
+	var all []Diagnostic
 	for _, importPath := range paths {
 		p, err := loader.Load(importPath)
 		if err != nil {
@@ -232,10 +247,21 @@ func runStandalone(patterns []string, analyzers []*Analyzer) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		all = append(all, diags...)
 		if len(diags) > 0 {
-			printDiagnostics(os.Stderr, loader.Fset, diags, false, importPath)
+			if !sarifOut && !jsonOut {
+				printDiagnostics(os.Stderr, loader.Fset, diags, false, importPath)
+			}
 			exit = 2
 		}
+	}
+	if sarifOut {
+		if err := WriteSARIF(os.Stdout, loader.Fset, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else if jsonOut {
+		printDiagnostics(os.Stderr, loader.Fset, all, true, loader.ModulePath)
 	}
 	return exit
 }

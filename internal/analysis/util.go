@@ -101,9 +101,11 @@ func identObj(info *types.Info, e ast.Expr) types.Object {
 	return nil
 }
 
-// exprKey canonicalizes a pure selector chain (a, a.b, a.b.c) for textual
-// matching of guard conditions against call receivers; chains rooted at
-// calls or indexing return "" (not matchable).
+// exprKey canonicalizes a pure selector/index chain (a, a.b, a.b.c,
+// a[0], a[i]) for textual matching of guard conditions against call
+// receivers; chains rooted at calls return "" (not matchable). Index
+// keys use constant text or the index variable's identity, so bufs[0]
+// and bufs[1] stay distinct while two mentions of bufs[i] match.
 func exprKey(info *types.Info, e ast.Expr) string {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
@@ -118,8 +120,51 @@ func exprKey(info *types.Info, e ast.Expr) string {
 			return ""
 		}
 		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := exprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		switch idx := ast.Unparen(e.Index).(type) {
+		case *ast.BasicLit:
+			return base + "[" + idx.Value + "]"
+		case *ast.Ident:
+			if obj := info.ObjectOf(idx); obj != nil {
+				return base + "[" + objKey(obj) + "]"
+			}
+		}
+		return ""
 	}
 	return ""
+}
+
+// batchAll marks a key as covering every element of a batch (FreeBatch,
+// AllocBatch): base key plus this suffix.
+const batchAll = "[*]"
+
+// keyBase strips an index suffix: "bufs[0]" -> "bufs".
+func keyBase(k string) string {
+	if i := strings.IndexByte(k, '['); i >= 0 {
+		return k[:i]
+	}
+	return k
+}
+
+// keysOverlap reports whether two fbuf keys may name the same buffer:
+// identical keys always do; keys over one batch variable do unless both
+// name distinct concrete elements (bufs[0] vs bufs[1] are different
+// buffers, but bufs[*] — or the bare slice variable — covers them all).
+func keysOverlap(a, b string) bool {
+	if a == b {
+		return a != ""
+	}
+	if a == "" || b == "" || keyBase(a) != keyBase(b) {
+		return false
+	}
+	aIdx := strings.IndexByte(a, '[') >= 0 && !strings.HasSuffix(a, batchAll)
+	bIdx := strings.IndexByte(b, '[') >= 0 && !strings.HasSuffix(b, batchAll)
+	// Same base: overlap unless both are concrete, distinct elements.
+	return !(aIdx && bIdx)
 }
 
 func objKey(obj types.Object) string {
