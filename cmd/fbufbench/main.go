@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|smp|audit|ablations|all]
-//	          [-parallel N]
+//	fbufbench [-exp table1|fig3|fig4|fig5|fig6|cpuload|smp|audit|ablations|chaos|overload|all]
+//	          [-parallel N] [-seed N]
 //	          [-json] [-json-out BENCH_report.json]
 //	          [-baseline BENCH_audit_baseline.json] [-audit-trace out.json]
 //	          [-trace out.json] [-metrics out.json]
@@ -20,6 +20,11 @@
 // cached path per transfer stage; -audit-trace writes the audit flight
 // recorder's Perfetto dump, and -baseline compares the audit p99s against a
 // checked-in report, exiting nonzero on a >10% regression (the CI gate).
+// -exp overload runs the production-shaped multi-tenant saturation
+// scenario (per-class latency, path-cache eviction sweep, admission
+// rejections, copy-fallback duty cycle); -seed N narrows it to one seed
+// for CI matrix fan-out, and -json/-baseline write and gate an
+// overload-only report the same way the audit pair does.
 // -exp smp prints the deterministic simulated-SMP scaling table;
 // -parallel N additionally runs the wall-clock driver with N real
 // goroutines (opt-in: the default run stays single-threaded and
@@ -40,11 +45,12 @@ import (
 // validExperiments lists the -exp spellings ("chaos" runs only when named
 // explicitly; "all" covers the rest).
 var validExperiments = []string{
-	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "audit", "ablations", "chaos", "all",
+	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "audit", "ablations", "chaos", "overload", "all",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, audit, ablations, chaos, all (chaos not in all)")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, audit, ablations, chaos, overload, all (chaos and overload not in all)")
+	seed := flag.Int64("seed", 0, "run -exp overload with this single seed instead of the built-in matrix (0 = matrix; the JSON experiment always uses the pinned report seed)")
 	parallel := flag.Int("parallel", 0, "also run the wall-clock parallel driver with N real goroutines (0 = off; numbers not written to the JSON report)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark report")
 	jsonPath := flag.String("json-out", "BENCH_report.json", "path for the -json report")
@@ -59,7 +65,7 @@ func main() {
 		o = obs.New(1 << 18)
 		bench.SetObserver(o)
 	}
-	if err := run(os.Stdout, *exp); err != nil {
+	if err := run(os.Stdout, *exp, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "fbufbench:", err)
 		os.Exit(1)
 	}
@@ -71,10 +77,11 @@ func main() {
 	}
 
 	// The audit artifacts (audit-only JSON, Perfetto dump, baseline gate)
-	// share one run.
+	// share one run; -exp overload routes the JSON and the gate to the
+	// overload experiment instead.
 	var auditRep *bench.Report
 	var auditRes *bench.AuditResult
-	if *baseline != "" || *auditTrace != "" || (*jsonOut && *exp == "audit") {
+	if (*baseline != "" && *exp != "overload") || *auditTrace != "" || (*jsonOut && *exp == "audit") {
 		var err error
 		auditRep, auditRes, err = bench.AuditReport()
 		if err != nil {
@@ -83,11 +90,25 @@ func main() {
 		}
 		auditRep.Flags = flagSet()
 	}
+	var overloadRep *bench.Report
+	if *exp == "overload" && (*jsonOut || *baseline != "") {
+		var err error
+		overloadRep, err = bench.OverloadReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+		overloadRep.Flags = flagSet()
+	}
 	if *jsonOut {
 		var err error
-		if *exp == "audit" {
+		switch *exp {
+		case "audit":
 			err = writeAuditReport(*jsonPath, auditRep)
-		} else {
+		case "overload":
+			err = writeNamedReport(*jsonPath, overloadRep,
+				fmt.Sprintf("overload quick-class p99 %.0f ns", overloadRep.Experiments["overload"].Headline))
+		default:
 			err = writeReport(*jsonPath, flagSet())
 		}
 		if err != nil {
@@ -102,11 +123,15 @@ func main() {
 		}
 	}
 	if *baseline != "" {
-		if err := gateAudit(*baseline, auditRep); err != nil {
+		gate, rep, compare := "audit", auditRep, bench.CompareAudit
+		if *exp == "overload" {
+			gate, rep, compare = "overload", overloadRep, bench.CompareOverload
+		}
+		if err := gateReport(*baseline, rep, compare); err != nil {
 			fmt.Fprintln(os.Stderr, "fbufbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("audit gate: no p99 regression vs %s\n", *baseline)
+		fmt.Printf("%s gate: no p99 regression vs %s\n", gate, *baseline)
 	}
 	if o != nil {
 		if err := exportObserved(o, *tracePath, *metricsPath); err != nil {
@@ -155,8 +180,9 @@ func writeAuditTrace(path string, res *bench.AuditResult) error {
 	return f.Close()
 }
 
-// gateAudit compares the current audit report against the baseline file.
-func gateAudit(path string, cur *bench.Report) error {
+// gateReport compares the current report against the baseline file with
+// the given experiment comparator.
+func gateReport(path string, cur *bench.Report, compare func(base, cur *bench.Report) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -166,7 +192,24 @@ func gateAudit(path string, cur *bench.Report) error {
 	if err != nil {
 		return err
 	}
-	return bench.CompareAudit(base, cur)
+	return compare(base, cur)
+}
+
+// writeNamedReport writes a single-experiment report with a summary line.
+func writeNamedReport(path string, rep *bench.Report, summary string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", path, summary)
+	return nil
 }
 
 // writeReport builds the machine-readable report and writes it.
@@ -227,7 +270,7 @@ type writerTo interface {
 	WriteTo(io.Writer) (int64, error)
 }
 
-func run(w io.Writer, exp string) error {
+func run(w io.Writer, exp string, seed int64) error {
 	show := func(r writerTo, err error) error {
 		if err != nil {
 			return err
@@ -291,6 +334,16 @@ func run(w io.Writer, exp string) error {
 	if exp == "chaos" { // not part of "all": paper artifacts stay fault-free
 		ran = true
 		if err := show(bench.Chaos()); err != nil {
+			return err
+		}
+	}
+	if exp == "overload" { // not part of "all", like chaos: a robustness scenario
+		ran = true
+		var seeds []int64
+		if seed != 0 {
+			seeds = []int64{seed}
+		}
+		if err := show(bench.Overload(seeds...)); err != nil {
 			return err
 		}
 	}

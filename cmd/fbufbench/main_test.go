@@ -8,7 +8,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1"); err != nil {
+	if err := run(&buf, "table1", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +21,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig3"); err != nil {
+	if err := run(&buf, "fig3", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 3") {
@@ -35,7 +35,7 @@ func TestRunUnknown(t *testing.T) {
 	for _, exp := range []string{"fig99", "", "Table1", "chaos,smp"} {
 		t.Run("exp="+exp, func(t *testing.T) {
 			var buf bytes.Buffer
-			err := run(&buf, exp)
+			err := run(&buf, exp, 0)
 			if err == nil {
 				t.Fatal("unknown experiment accepted")
 			}

@@ -10,7 +10,7 @@ import (
 //
 //	DataPath.mu → Manager.regionMu → chunk.mu → Fbuf.mu → Sanitizer.mu
 //	→ AddrSpace.mu → leaf locks (TLB.mu, PhysMem.mu, Plane.mu,
-//	Manager.noticeMu, Tracer.mu, Registry.mu)
+//	Manager.noticeMu, Manager.cacheMu, Tracer.mu, Registry.mu)
 //
 // and a function that acquires a lock while directly holding one of
 // strictly higher rank is reported — that inversion is the shape of every
@@ -57,6 +57,7 @@ var lockRank = map[string]int{
 	"PhysMem.mu":       70,
 	"Plane.mu":         70,
 	"Manager.noticeMu": 70,
+	"Manager.cacheMu":  70,
 	"Tracer.mu":        70,
 	"Registry.mu":      70,
 }

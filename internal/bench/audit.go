@@ -157,7 +157,18 @@ const auditRegressionTolerance = 0.10
 // more than the tolerance. Stages present only on one side are reported
 // too: a vanished stage means the attribution itself changed shape.
 func CompareAudit(baseline, current *Report) error {
-	const name = "audit_latency_attribution"
+	return compareP99(baseline, current, "audit_latency_attribution")
+}
+
+// CompareOverload gates the overload experiment's per-tenant-class p99
+// latencies the same way (`fbufbench -exp overload -baseline ...`).
+func CompareOverload(baseline, current *Report) error {
+	return compareP99(baseline, current, "overload")
+}
+
+// compareP99 compares every "p99_ns"-suffixed value of the named
+// experiment between two reports under the shared tolerance.
+func compareP99(baseline, current *Report, name string) error {
 	base, ok := baseline.Experiments[name]
 	if !ok {
 		return fmt.Errorf("bench: baseline has no %s experiment", name)
@@ -186,8 +197,8 @@ func CompareAudit(baseline, current *Report) error {
 		}
 	}
 	if len(bad) > 0 {
-		return fmt.Errorf("bench: audit p99 regression beyond %.0f%%:\n  %s",
-			100*auditRegressionTolerance, strings.Join(bad, "\n  "))
+		return fmt.Errorf("bench: %s p99 regression beyond %.0f%%:\n  %s",
+			name, 100*auditRegressionTolerance, strings.Join(bad, "\n  "))
 	}
 	return nil
 }

@@ -192,6 +192,12 @@ func BuildReport() (*Report, error) {
 		return nil, err
 	}
 	rep.Experiments["audit_latency_attribution"] = auditExp
+
+	ov, err := OverloadExperiment()
+	if err != nil {
+		return nil, err
+	}
+	rep.Experiments["overload"] = ov
 	return rep, nil
 }
 

@@ -1,0 +1,62 @@
+package bench
+
+import "testing"
+
+// TestOverloadDeterministic runs the same seed twice and requires
+// identical latency percentiles and counters — the scenario is a pure
+// function of the seed.
+func TestOverloadDeterministic(t *testing.T) {
+	a, err := runOverload(1, "mru16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOverload(1, "mru16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.stats != b.stats {
+		t.Fatalf("stats diverged:\n  %+v\n  %+v", a.stats, b.stats)
+	}
+	if a.ad != b.ad {
+		t.Fatalf("adaptive stats diverged:\n  %+v\n  %+v", a.ad, b.ad)
+	}
+	for name, ca := range a.classes {
+		cb := b.classes[name]
+		if *ca != *cb {
+			t.Fatalf("class %s diverged:\n  %+v\n  %+v", name, *ca, *cb)
+		}
+	}
+}
+
+// TestOverloadSweep runs the full eviction-policy sweep on one seed; the
+// sweep itself enforces convergence, zero leaks, exercised degradation,
+// and that LRU beats MRU-16 on path-cache thrash.
+func TestOverloadSweep(t *testing.T) {
+	runs, err := overloadSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := runs["mru16"]
+	for _, spec := range overloadTenants {
+		cl := main.classes[spec.name]
+		if cl.requests == 0 {
+			t.Errorf("class %s received no traffic", spec.name)
+		}
+		if cl.p99 < cl.p50 {
+			t.Errorf("class %s p99 %d < p50 %d", spec.name, cl.p99, cl.p50)
+		}
+	}
+	// The starved class degrades; the heavyweight class must not.
+	if d := classDuty(main.classes["quick"]); d == 0 {
+		t.Error("quick class never rode the copy path")
+	}
+	if d := classDuty(main.classes["video"]); d != 0 {
+		t.Errorf("video class copy duty %.2f, want 0 (ample share)", d)
+	}
+	if main.classes["video"].rejects != 0 {
+		t.Errorf("video class rejected %d times, want 0", main.classes["video"].rejects)
+	}
+	if main.classes["quick"].rejects == 0 {
+		t.Error("quick class was never rejected")
+	}
+}

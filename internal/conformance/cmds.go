@@ -38,6 +38,7 @@ const (
 	OpCrash
 	OpReclaim
 	OpDeliver
+	OpEvict
 	NumOps
 )
 
@@ -344,6 +345,8 @@ func (r *runner) audit(c Cmd, desc string) *Divergence {
 		{"FramesReclaimed", real.FramesReclaimed, want.FramesReclaimed},
 		{"LazyRefills", real.LazyRefills, want.LazyRefills},
 		{"AllocFailures", real.AllocFailures, want.AllocFailures},
+		{"PathEvictions", real.PathEvictions, want.PathEvictions},
+		{"AdmissionRejects", real.AdmissionRejects, want.AdmissionRejects},
 	}
 	for _, ch := range checks {
 		if ch.got != ch.want {
@@ -560,13 +563,25 @@ func (r *runner) exec(c Cmd) (string, *Divergence) {
 		}
 		return desc, nil
 
-	default: // OpDeliver
+	case OpDeliver:
 		rep, repID := r.domAt(c.A)
 		cal, calID := r.domAt(c.B)
 		desc := fmt.Sprintf("DeliverNotices %s->%s", rep.Name, cal.Name)
 		r.mgr.DeliverNotices(rep, cal)
 		m.DeliverNotices(repID, calID)
 		return desc, nil
+
+	default: // OpEvict
+		_, rp, mp := r.pathAt(c.A)
+		desc := "EvictPath " + mp.Name
+		got := r.mgr.EvictPath(rp)
+		want := m.EvictPath(mp)
+		if got != want {
+			return desc, r.fail(c, desc, "fbufs torn down: model %d, implementation %d", want, got)
+		}
+		// Eviction must never revoke a live or draining fbuf — a full
+		// audit catches any reference or state the teardown overreached.
+		return desc, r.audit(c, desc)
 	}
 }
 
@@ -615,7 +630,7 @@ func Generate(seed int64, n int) []Cmd {
 		{OpAlloc, 18}, {OpAllocBatch, 7}, {OpTransfer, 18}, {OpSecure, 6},
 		{OpWrite, 11}, {OpRead, 11}, {OpFree, 16}, {OpFreeBatch, 5},
 		{OpDupRef, 4}, {OpSetQuota, 3}, {OpCrash, 1}, {OpReclaim, 3},
-		{OpDeliver, 2},
+		{OpDeliver, 3}, {OpEvict, 2},
 	}
 	total := 0
 	for _, w := range weights {

@@ -39,6 +39,7 @@ type ErrClass int
 const (
 	OK         ErrClass = iota
 	EQuota              // core.ErrQuota: path chunk quota exhausted
+	EAdmission          // core.ErrAdmission: tenant class share exhausted
 	ERegion             // core.ErrRegionFull: no free chunks in the region
 	ENotHolder          // core.ErrNotHolder: domain holds no reference
 	EDead               // core.ErrDeadDomain: originator or receiver died
@@ -55,6 +56,8 @@ func (e ErrClass) String() string {
 		return "ok"
 	case EQuota:
 		return "quota"
+	case EAdmission:
+		return "admission"
 	case ERegion:
 		return "region-full"
 	case ENotHolder:
@@ -80,6 +83,8 @@ func Classify(err error) ErrClass {
 	switch {
 	case errors.Is(err, core.ErrQuota):
 		return EQuota
+	case errors.Is(err, core.ErrAdmission):
+		return EAdmission
 	case errors.Is(err, core.ErrRegionFull):
 		return ERegion
 	case errors.Is(err, core.ErrNotHolder):
@@ -117,20 +122,22 @@ type Hooks struct {
 
 // Stats is the model's prediction of core.Stats, field for field.
 type Stats struct {
-	Allocs          uint64
-	CacheHits       uint64
-	CacheMisses     uint64
-	Transfers       uint64
-	MappingsBuilt   uint64
-	Secures         uint64
-	Frees           uint64
-	Recycles        uint64
-	NoticesQueued   uint64
-	NoticesPiggy    uint64
-	NoticesExplicit uint64
-	FramesReclaimed uint64
-	LazyRefills     uint64
-	AllocFailures   uint64
+	Allocs           uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	Transfers        uint64
+	MappingsBuilt    uint64
+	Secures          uint64
+	Frees            uint64
+	Recycles         uint64
+	NoticesQueued    uint64
+	NoticesPiggy     uint64
+	NoticesExplicit  uint64
+	FramesReclaimed  uint64
+	LazyRefills      uint64
+	AllocFailures    uint64
+	PathEvictions    uint64
+	AdmissionRejects uint64
 }
 
 // MDomain models a protection domain.
@@ -832,6 +839,35 @@ func (m *Model) Crash(d int) {
 	// Termination destroys the address space: empty-leaf aliases are gone
 	// and every future access by this domain faults.
 	delete(m.Leaf, d)
+}
+
+// EvictPath models Manager.EvictPath (path-cache demotion): every
+// free-listed fbuf is fully torn down; live and draining fbufs are
+// untouched — eviction must never revoke an outstanding reference. The
+// path stays open. Returns the number of fbufs torn down, matching the
+// real manager's return value.
+func (m *Model) EvictPath(p *MPath) int {
+	if p.Closed {
+		return 0
+	}
+	fl := p.Free
+	p.Free = nil
+	for _, f := range fl {
+		// Same teardown the real eviction performs: a recycle that cannot
+		// re-enter the free list (the list was detached above).
+		m.Stats.Recycles++
+		f.Refs = map[int]int{}
+		f.Mapped = map[int]bool{}
+		for i := range f.Present {
+			f.Present[i] = false
+		}
+		f.State = StFree
+		f.Secured = false
+		f.Torn = true
+		m.removeFromChunk(f)
+	}
+	m.Stats.PathEvictions++
+	return len(fl)
 }
 
 // ClosePath models Manager.ClosePath: the free list is torn down; live

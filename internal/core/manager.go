@@ -82,6 +82,23 @@ type Manager struct {
 	// sanitizer.go). Every hook is behind this single nil check.
 	san *Sanitizer
 
+	// Path-cache residency tracking (pathcache.go). cacheMu is a leaf
+	// lock (DESIGN.md §10.2): touchPath collects a candidate snapshot
+	// under it and releases it before any eviction work, so it is never
+	// held across another lock acquisition. cacheCap <= 0 disables the
+	// cache entirely (the default), keeping every pre-existing workload
+	// bit-identical.
+	cacheMu     sync.Mutex
+	cacheCap    int
+	cachePolicy EvictionPolicy
+	residents   map[int]*cacheEntry
+	cacheSeq    uint64
+
+	// admission, when non-nil, arbitrates chunk grants between tenant
+	// classes (admission.go). Installed by SetAdmission before traffic
+	// starts; paths opt in via SetTenant.
+	admission *Admission
+
 	// stats fields are updated with atomic adds and read through
 	// Snapshot(); never read the struct directly during concurrent
 	// operation.
@@ -173,6 +190,13 @@ type Stats struct {
 	// IsAllocFailure). The degraded copy path in package xfer watches this
 	// backpressure signal.
 	AllocFailures uint64
+	// PathEvictions counts path-cache demotions: a resident path whose
+	// free-listed fbufs were torn down to make room (pathcache.go).
+	PathEvictions uint64
+	// AdmissionRejects counts chunk grants refused because the path's
+	// tenant class exhausted its weighted share (admission.go). Each is
+	// also an AllocFailure.
+	AdmissionRejects uint64
 }
 
 // Check validates the cross-counter invariants; Manager.CheckInvariants
@@ -203,6 +227,12 @@ func (s Stats) Check() error {
 		return fmt.Errorf("core: stats drift: AllocFailures=%d > Allocs=%d",
 			s.AllocFailures, s.Allocs)
 	}
+	// Every admission reject surfaces as ErrAdmission, which Alloc counts
+	// as an alloc failure on the way out.
+	if s.AdmissionRejects > s.AllocFailures {
+		return fmt.Errorf("core: stats drift: AdmissionRejects=%d > AllocFailures=%d",
+			s.AdmissionRejects, s.AllocFailures)
+	}
 	return nil
 }
 
@@ -214,20 +244,22 @@ func (s Stats) Check() error {
 // invariants (Stats.Check) are only meaningful at quiescence.
 func (m *Manager) Snapshot() Stats {
 	return Stats{
-		Allocs:          atomic.LoadUint64(&m.stats.Allocs),
-		CacheHits:       atomic.LoadUint64(&m.stats.CacheHits),
-		CacheMisses:     atomic.LoadUint64(&m.stats.CacheMisses),
-		Transfers:       atomic.LoadUint64(&m.stats.Transfers),
-		MappingsBuilt:   atomic.LoadUint64(&m.stats.MappingsBuilt),
-		Secures:         atomic.LoadUint64(&m.stats.Secures),
-		Frees:           atomic.LoadUint64(&m.stats.Frees),
-		Recycles:        atomic.LoadUint64(&m.stats.Recycles),
-		NoticesQueued:   atomic.LoadUint64(&m.stats.NoticesQueued),
-		NoticesPiggy:    atomic.LoadUint64(&m.stats.NoticesPiggy),
-		NoticesExplicit: atomic.LoadUint64(&m.stats.NoticesExplicit),
-		FramesReclaimed: atomic.LoadUint64(&m.stats.FramesReclaimed),
-		LazyRefills:     atomic.LoadUint64(&m.stats.LazyRefills),
-		AllocFailures:   atomic.LoadUint64(&m.stats.AllocFailures),
+		Allocs:           atomic.LoadUint64(&m.stats.Allocs),
+		CacheHits:        atomic.LoadUint64(&m.stats.CacheHits),
+		CacheMisses:      atomic.LoadUint64(&m.stats.CacheMisses),
+		Transfers:        atomic.LoadUint64(&m.stats.Transfers),
+		MappingsBuilt:    atomic.LoadUint64(&m.stats.MappingsBuilt),
+		Secures:          atomic.LoadUint64(&m.stats.Secures),
+		Frees:            atomic.LoadUint64(&m.stats.Frees),
+		Recycles:         atomic.LoadUint64(&m.stats.Recycles),
+		NoticesQueued:    atomic.LoadUint64(&m.stats.NoticesQueued),
+		NoticesPiggy:     atomic.LoadUint64(&m.stats.NoticesPiggy),
+		NoticesExplicit:  atomic.LoadUint64(&m.stats.NoticesExplicit),
+		FramesReclaimed:  atomic.LoadUint64(&m.stats.FramesReclaimed),
+		LazyRefills:      atomic.LoadUint64(&m.stats.LazyRefills),
+		AllocFailures:    atomic.LoadUint64(&m.stats.AllocFailures),
+		PathEvictions:    atomic.LoadUint64(&m.stats.PathEvictions),
+		AdmissionRejects: atomic.LoadUint64(&m.stats.AdmissionRejects),
 	}
 }
 
@@ -252,6 +284,8 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("core.frames_reclaimed").Set(s.FramesReclaimed)
 	reg.Counter("core.lazy_refills").Set(s.LazyRefills)
 	reg.Counter("core.alloc_failures").Set(s.AllocFailures)
+	reg.Counter("core.path_evictions").Set(s.PathEvictions)
+	reg.Counter("core.admission_rejects").Set(s.AdmissionRejects)
 	c := m.ContentionSnapshot()
 	reg.Counter("smp.lock_acquires").Set(c.LockAcquires)
 	reg.Counter("smp.lock_contended").Set(c.LockContended)
@@ -421,8 +455,15 @@ func (m *Manager) grantChunkLocked(p *DataPath) (*chunk, error) {
 	return c, nil
 }
 
-// releaseChunk returns a fully drained chunk to the kernel.
+// releaseChunk returns a fully drained chunk to the kernel. The owning
+// path's tenant (if any) gets its admission charge back: admission tracks
+// chunks held, not chunks ever granted.
 func (m *Manager) releaseChunk(c *chunk) {
+	if p := c.owner; p != nil {
+		if t := p.tenant; t != nil && m.admission != nil {
+			m.admission.release(t)
+		}
+	}
 	m.regionMu.Lock()
 	m.chunks[c.index] = nil
 	m.freeChunks = append(m.freeChunks, c.index)

@@ -42,7 +42,24 @@ type DataPath struct {
 	mu     sync.Mutex
 	free   []*Fbuf // LIFO: most recently freed first (most likely resident)
 	chunks []*chunk
-	quota  int // max chunks; 0 = manager default, negative = unlimited
+
+	// quota is the chunk limit (0 = manager default, negative = unlimited).
+	// Atomic because SetQuota is a kernel control knob callers may turn
+	// while allocators are running: Alloc reads it under the path lock but
+	// SetQuota writes it without.
+	quota atomic.Int64
+
+	// tenant, when non-nil, charges this path's chunk grants to an
+	// admission-control class (see admission.go). Control-plane: set it
+	// via SetTenant before traffic starts, like NewPath itself.
+	tenant *TenantClass
+
+	// pinned marks the path exempt from path-cache eviction under the
+	// pinned-aware policy.
+	pinned atomic.Bool
+
+	// evictions counts path-cache demotions of this path.
+	evictions atomic.Uint64
 
 	closed bool
 
@@ -108,8 +125,8 @@ func (p *DataPath) Originator() *domain.Domain { return p.Domains[0] }
 
 // SetQuota adjusts the kernel-imposed chunk limit: a positive value is an
 // explicit limit, 0 restores the manager default, negative disables the
-// quota entirely.
-func (p *DataPath) SetQuota(chunks int) { p.quota = chunks }
+// quota entirely. Safe to call while allocators are running.
+func (p *DataPath) SetQuota(chunks int) { p.quota.Store(int64(chunks)) }
 
 // Quota returns the effective chunk limit: the explicit per-path value
 // when set, otherwise the manager default. A return of 0 means the quota
@@ -117,7 +134,7 @@ func (p *DataPath) SetQuota(chunks int) { p.quota = chunks }
 // default is non-positive). Note the asymmetry with SetQuota's input,
 // where 0 means "use the manager default" — only negative disables.
 func (p *DataPath) Quota() int {
-	q := p.quota
+	q := int(p.quota.Load())
 	if q == 0 {
 		q = p.mgr.DefaultQuota
 	}
@@ -126,6 +143,25 @@ func (p *DataPath) Quota() int {
 	}
 	return q
 }
+
+// SetTenant assigns the path to an admission-control tenant class; chunk
+// grants are charged against the class's weighted share once the manager
+// has an Admission controller installed. Control-plane: call before
+// traffic starts (grants made earlier are never charged).
+func (p *DataPath) SetTenant(t *TenantClass) { p.tenant = t }
+
+// Tenant returns the path's admission class (nil when unassigned).
+func (p *DataPath) Tenant() *TenantClass { return p.tenant }
+
+// SetPinned marks or unmarks the path as exempt from path-cache eviction
+// under the pinned-aware policy.
+func (p *DataPath) SetPinned(v bool) { p.pinned.Store(v) }
+
+// Pinned reports the eviction-exemption mark.
+func (p *DataPath) Pinned() bool { return p.pinned.Load() }
+
+// Evictions returns how many times the path cache demoted this path.
+func (p *DataPath) Evictions() uint64 { return p.evictions.Load() }
 
 // lock acquires the path's shared allocator lock, counting traffic and
 // contention (a failed TryLock means another worker held the lock).
@@ -237,6 +273,9 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 		m.emit(obs.EvAllocFailed, p.Originator(), nil, 0)
 		return nil, ErrQuota
 	}
+	// Path-cache residency: an allocation is the path's "use". Touching
+	// may demote another path; it never takes this path's lock.
+	m.touchPath(p)
 	o := m.Sys.Obs
 	var t0 simtime.Time
 	if o != nil {
@@ -319,9 +358,23 @@ func (p *DataPath) carveLocked() (*Fbuf, error) {
 			p.unlock()
 			return nil, ErrQuota
 		}
+		// Per-tenant admission sits between the per-path quota and the
+		// kernel grant: a path inside its own quota can still be refused
+		// because its tenant class's weighted share of the region is spent.
+		if t := p.tenant; t != nil && m.admission != nil {
+			if !m.admission.admit(t) {
+				p.unlock()
+				atomic.AddUint64(&m.stats.AdmissionRejects, 1)
+				m.emit(obs.EvAdmissionReject, p.Originator(), nil, int64(p.ID))
+				return nil, ErrAdmission
+			}
+		}
 		var err error
 		c, err = m.grantChunk(p)
 		if err != nil {
+			if t := p.tenant; t != nil && m.admission != nil {
+				m.admission.release(t) // grant failed: refund the charge
+			}
 			p.unlock()
 			return nil, err
 		}
@@ -383,6 +436,9 @@ func (p *DataPath) AllocBatch(out []*Fbuf) (int, error) {
 	if p.Originator().Dead() {
 		return 0, ErrDeadDomain
 	}
+	// One residency touch covers the whole batch (same recency signal an
+	// Alloc loop's first iteration would give the cache).
+	m.touchPath(p)
 	o := m.Sys.Obs
 	var t0 simtime.Time
 	if o != nil {
@@ -918,6 +974,15 @@ func (m *Manager) recycleB(f *Fbuf, batch *recycleBatch) {
 		p.unlock()
 	}
 	// Full teardown (uncached, or path closed / originator dead).
+	m.teardown(f)
+}
+
+// teardown fully releases a recycled fbuf: receiver mappings are shot
+// down, frames returned, VA space freed, and the chunk released when it
+// drains. Shared by recycleB's uncached/closed branch and by path-cache
+// eviction (EvictPath), which demotes free-listed fbufs without closing
+// the path. The caller owns the fbuf exclusively.
+func (m *Manager) teardown(f *Fbuf) {
 	f.mu.Lock()
 	for id := range f.mapped {
 		if d := m.domainByID(id); d != nil && !d.Dead() {
@@ -1175,5 +1240,6 @@ func (m *Manager) ClosePath(p *DataPath) {
 	for _, f := range freeList {
 		m.recycle(f) // path closed: full teardown
 	}
+	m.cacheForget(p.ID)
 	delete(m.paths, p.ID)
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvictionPolicyVictims pins each policy's victim choice on a fixed
+// candidate set.
+func TestEvictionPolicyVictims(t *testing.T) {
+	cands := []CacheCandidate{
+		{LastTouch: 5, FreePages: 1},
+		{LastTouch: 9, FreePages: 4},
+		{LastTouch: 2, FreePages: 2, Pinned: true},
+	}
+	if got := PolicyMRU().Victim(cands); got != 1 {
+		t.Errorf("mru victim %d, want 1 (most recently touched)", got)
+	}
+	if got := PolicyLRU().Victim(cands); got != 2 {
+		t.Errorf("lru victim %d, want 2 (least recently touched)", got)
+	}
+	if got := PolicySize().Victim(cands); got != 1 {
+		t.Errorf("size victim %d, want 1 (largest free list)", got)
+	}
+	if got := PolicyPinnedLRU().Victim(cands); got != 0 {
+		t.Errorf("pinned-lru victim %d, want 0 (LRU among unpinned)", got)
+	}
+	allPinned := []CacheCandidate{{Pinned: true}, {LastTouch: 1, Pinned: true}}
+	if got := PolicyPinnedLRU().Victim(allPinned); got != -1 {
+		t.Errorf("pinned-lru victim %d over all-pinned set, want -1 (decline)", got)
+	}
+	if got := PolicyMRU().Victim(nil); got != -1 {
+		t.Errorf("mru victim %d on empty set, want -1", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"mru16":      "mru16",
+		"mru":        "mru16",
+		"lru":        "lru",
+		"size":       "size",
+		"pinned-lru": "pinned-lru",
+		"pinned":     "pinned-lru",
+	} {
+		pol, ok := PolicyByName(name)
+		if !ok || pol.Name() != want {
+			t.Errorf("PolicyByName(%q) = %v/%v, want %s", name, pol, ok, want)
+		}
+	}
+	if _, ok := PolicyByName("fifo"); ok {
+		t.Error("PolicyByName accepted an unknown policy")
+	}
+}
+
+// TestPathCacheEvicts runs three paths over a two-entry cache: activating
+// the third must demote the LRU resident, tearing down its free list while
+// the path itself stays open and usable.
+func TestPathCacheEvicts(t *testing.T) {
+	r := newRig(t)
+	r.mgr.SetPathCache(2, PolicyLRU())
+	pa := r.path(t, CachedVolatile(), 1)
+	pb := r.path(t, CachedVolatile(), 1)
+	pc := r.path(t, CachedVolatile(), 1)
+
+	r.oneHop(t, pa)
+	r.oneHop(t, pb)
+	if got := r.mgr.CacheResidents(); got != 2 {
+		t.Fatalf("residents = %d, want 2", got)
+	}
+	r.oneHop(t, pc) // third activation: LRU resident (pa) is demoted
+
+	if pa.Evictions() != 1 {
+		t.Fatalf("pa evictions = %d, want 1", pa.Evictions())
+	}
+	if pa.FreeListLen() != 0 {
+		t.Fatalf("pa free list %d after eviction, want 0", pa.FreeListLen())
+	}
+	if pb.FreeListLen() != 1 || pc.FreeListLen() != 1 {
+		t.Fatalf("survivor free lists %d/%d, want 1/1", pb.FreeListLen(), pc.FreeListLen())
+	}
+	if got := r.mgr.CacheResidents(); got != 2 {
+		t.Fatalf("residents = %d after eviction, want 2", got)
+	}
+	st := r.mgr.Snapshot()
+	if st.PathEvictions != 1 {
+		t.Fatalf("PathEvictions = %d, want 1", st.PathEvictions)
+	}
+
+	// The evicted path is demoted, not revoked: it works again at
+	// cache-miss cost (and its re-activation demotes the next LRU).
+	misses := st.CacheMisses
+	r.oneHop(t, pa)
+	st = r.mgr.Snapshot()
+	if st.CacheMisses != misses+1 {
+		t.Fatalf("CacheMisses = %d after post-eviction hop, want %d", st.CacheMisses, misses+1)
+	}
+	r.check(t)
+}
+
+// TestEvictionSparesLiveFbufs pins the safety rule: eviction tears down
+// only free-listed fbufs; live references survive and drain normally.
+func TestEvictionSparesLiveFbufs(t *testing.T) {
+	r := newRig(t)
+	p := r.path(t, CachedVolatile(), 1)
+
+	live, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.TouchWrite(r.src, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	idle, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Free(idle, r.src); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := r.mgr.EvictPath(p); n != 1 {
+		t.Fatalf("EvictPath tore down %d fbufs, want 1 (the idle one)", n)
+	}
+	// The live fbuf still transfers end to end.
+	if err := r.mgr.Transfer(live, r.src, r.dst); err != nil {
+		t.Fatalf("live fbuf broken after eviction: %v", err)
+	}
+	if err := live.TouchRead(r.dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Free(live, r.dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Free(live, r.src); err != nil {
+		t.Fatal(err)
+	}
+	r.check(t)
+}
+
+// TestClosePathForgetsResident checks ClosePath removes the path from the
+// residency table so a stale entry can never be chosen as a victim.
+func TestClosePathForgetsResident(t *testing.T) {
+	r := newRig(t)
+	r.mgr.SetPathCache(4, PolicyMRU())
+	p := r.path(t, CachedVolatile(), 1)
+	r.oneHop(t, p)
+	if got := r.mgr.CacheResidents(); got != 1 {
+		t.Fatalf("residents = %d, want 1", got)
+	}
+	r.mgr.ClosePath(p)
+	if got := r.mgr.CacheResidents(); got != 0 {
+		t.Fatalf("residents = %d after close, want 0", got)
+	}
+	r.check(t)
+}
+
+// TestPathCacheDisabledByDefault: without SetPathCache the cache layer is
+// inert — no residency tracking, no evictions, identical schedules.
+func TestPathCacheDisabledByDefault(t *testing.T) {
+	r := newRig(t)
+	p := r.path(t, CachedVolatile(), 1)
+	for i := 0; i < 4; i++ {
+		r.oneHop(t, p)
+	}
+	if got := r.mgr.CacheResidents(); got != 0 {
+		t.Fatalf("residents = %d with cache disabled, want 0", got)
+	}
+	if st := r.mgr.Snapshot(); st.PathEvictions != 0 {
+		t.Fatalf("PathEvictions = %d with cache disabled, want 0", st.PathEvictions)
+	}
+	r.check(t)
+}
+
+// TestPinnedPathSurvivesPressure: under the pinned-lru policy a pinned
+// resident is never the victim while an unpinned candidate exists.
+func TestPinnedPathSurvivesPressure(t *testing.T) {
+	r := newRig(t)
+	r.mgr.SetPathCache(2, PolicyPinnedLRU())
+	hot := r.path(t, CachedVolatile(), 1)
+	hot.SetPinned(true)
+	r.oneHop(t, hot)
+	for i := 0; i < 3; i++ {
+		p := r.path(t, CachedVolatile(), 1)
+		r.oneHop(t, p)
+	}
+	if hot.Evictions() != 0 {
+		t.Fatalf("pinned path evicted %d times under pressure, want 0", hot.Evictions())
+	}
+	if hot.FreeListLen() != 1 {
+		t.Fatalf("pinned path free list %d, want 1", hot.FreeListLen())
+	}
+	r.check(t)
+}
+
+// TestParallelEvictionUnderLoad hammers one path from allocator goroutines
+// while the main goroutine repeatedly evicts it; run under -race with
+// fbsan checking reuse poisoning. Eviction must never touch a live fbuf.
+func TestParallelEvictionUnderLoad(t *testing.T) {
+	r, checkSan := parallelRig(t)
+	p := r.path(t, CachedVolatile(), 1)
+
+	const workers, ops = 4, 400
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for op := 0; op < ops; op++ {
+				f, err := p.Alloc()
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				if err := f.TouchWrite(r.src, uint32(op)); err != nil {
+					errs[slot] = err
+					return
+				}
+				if err := r.mgr.Free(f, r.src); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", i, err)
+				}
+			}
+			checkSan()
+			r.check(t)
+			return
+		default:
+			r.mgr.EvictPath(p)
+		}
+	}
+}

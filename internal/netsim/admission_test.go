@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// TestAdmissionBudgetInstallsController checks the Config.AdmissionBudget
+// wiring: both hosts get a weighted controller (app 3, proto 1), the data
+// and header paths carry their tenant classes, SWP's backpressure hook
+// polls the controller, and a comfortably-budgeted run still delivers
+// everything.
+func TestAdmissionBudgetInstallsController(t *testing.T) {
+	e, err := NewE2E(Config{
+		Placement:       UserUser,
+		Opts:            cachedVolatile(),
+		PDUBytes:        16 * 1024,
+		MsgBytes:        64 * 1024,
+		Count:           6,
+		Window:          4,
+		UseSWP:          true,
+		AdmissionBudget: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*Host{e.A, e.B} {
+		adm := h.Mgr.Admission()
+		if adm == nil {
+			t.Fatalf("host %s: no admission controller installed", h.Name)
+		}
+		if adm.Budget() != 64 {
+			t.Fatalf("host %s: budget %d, want 64", h.Name, adm.Budget())
+		}
+		if len(adm.Classes()) != 2 {
+			t.Fatalf("host %s: %d tenant classes, want 2 (app, proto)", h.Name, len(adm.Classes()))
+		}
+		if h.SWP != nil && h.SWP.Backpressure == nil {
+			t.Fatalf("host %s: SWP backpressure hook not wired to admission", h.Name)
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 6 {
+		t.Fatalf("delivered %d of 6 under admission control", res.Delivered)
+	}
+}
+
+// TestAdmissionBudgetOffByDefault: the zero config installs nothing, so
+// pre-existing workloads are untouched.
+func TestAdmissionBudgetOffByDefault(t *testing.T) {
+	e, err := NewE2E(Config{
+		Placement: UserUser,
+		Opts:      cachedVolatile(),
+		PDUBytes:  16 * 1024,
+		MsgBytes:  32 * 1024,
+		Count:     2,
+		Window:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.A.Mgr.Admission() != nil || e.B.Mgr.Admission() != nil {
+		t.Fatal("admission controller installed without AdmissionBudget")
+	}
+}

@@ -53,37 +53,41 @@ const (
 	EvLinkFault
 	EvCRCDrop
 	EvDomainCrash
+	EvPathEvict
+	EvAdmissionReject
 
 	numEventKinds
 )
 
 var eventNames = [numEventKinds]string{
-	EvNone:           "None",
-	EvAlloc:          "Alloc",
-	EvCacheHit:       "CacheHit",
-	EvCacheMiss:      "CacheMiss",
-	EvCarve:          "Carve",
-	EvTransfer:       "Transfer",
-	EvMappingBuilt:   "MappingBuilt",
-	EvSecure:         "Secure",
-	EvFree:           "Free",
-	EvRecycle:        "Recycle",
-	EvNoticeQueued:   "NoticeQueued",
-	EvNoticePiggy:    "NoticePiggy",
-	EvNoticeExplicit: "NoticeExplicit",
-	EvFrameReclaimed: "FrameReclaimed",
-	EvTLBMiss:        "TLBMiss",
-	EvPageFault:      "PageFault",
-	EvPktSend:        "PktSend",
-	EvPktRecv:        "PktRecv",
-	EvDMAStart:       "DMAStart",
-	EvDMADone:        "DMADone",
-	EvAllocFailed:    "AllocFailed",
-	EvCopyFallback:   "CopyFallback",
-	EvCopyRecover:    "CopyRecover",
-	EvLinkFault:      "LinkFault",
-	EvCRCDrop:        "CRCDrop",
-	EvDomainCrash:    "DomainCrash",
+	EvNone:            "None",
+	EvAlloc:           "Alloc",
+	EvCacheHit:        "CacheHit",
+	EvCacheMiss:       "CacheMiss",
+	EvCarve:           "Carve",
+	EvTransfer:        "Transfer",
+	EvMappingBuilt:    "MappingBuilt",
+	EvSecure:          "Secure",
+	EvFree:            "Free",
+	EvRecycle:         "Recycle",
+	EvNoticeQueued:    "NoticeQueued",
+	EvNoticePiggy:     "NoticePiggy",
+	EvNoticeExplicit:  "NoticeExplicit",
+	EvFrameReclaimed:  "FrameReclaimed",
+	EvTLBMiss:         "TLBMiss",
+	EvPageFault:       "PageFault",
+	EvPktSend:         "PktSend",
+	EvPktRecv:         "PktRecv",
+	EvDMAStart:        "DMAStart",
+	EvDMADone:         "DMADone",
+	EvAllocFailed:     "AllocFailed",
+	EvCopyFallback:    "CopyFallback",
+	EvCopyRecover:     "CopyRecover",
+	EvLinkFault:       "LinkFault",
+	EvCRCDrop:         "CRCDrop",
+	EvDomainCrash:     "DomainCrash",
+	EvPathEvict:       "PathEvict",
+	EvAdmissionReject: "AdmissionReject",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,84 @@
+package protocols
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSWPBackpressureHalvesWindow: while the Backpressure source reports
+// pressure, the effective window is half the configured one; sends the
+// full window would have admitted park in pending and are counted as
+// PressureStalls. Pressure lifting restores the full window, and every
+// parked message still arrives intact and in order — backpressure sheds
+// concurrency, never data.
+func TestSWPBackpressureHalvesWindow(t *testing.T) {
+	s := newSWPRig(t, 0, false)
+	s.a.Window = 4
+	pressured := true
+	s.a.Backpressure = func() bool { return pressured }
+	// Break the ack path so admitted messages stay inflight.
+	s.pa.dropEvery = 1
+	ctx := s.a.ctx
+	for i := 0; i < 6; i++ {
+		s.send(t, ctx, pattern(100+i*13))
+	}
+	if got := s.a.InflightCount(); got != 2 {
+		t.Fatalf("inflight %d under pressure, want halved window 2", got)
+	}
+	if got := s.a.PendingCount(); got != 4 {
+		t.Fatalf("pending %d, want 4", got)
+	}
+	if s.a.PressureStalls != 4 {
+		// All four parked sends found the full window (4) open but the
+		// halved one (2) shut — each is a stall charged to backpressure.
+		t.Fatalf("PressureStalls = %d, want 4", s.a.PressureStalls)
+	}
+
+	// Pressure lifts and the pipe heals: the window reopens to 4 and the
+	// backlog drains completely.
+	pressured = false
+	s.pa.dropEvery = 0
+	var got [][]byte
+	s.b.SetAbove(captureLayer(s.r, func(b []byte) { got = append(got, b) }))
+	for round := 0; round < 100 && len(got) < 6; round++ {
+		s.timers.crank(s.a.RTO * 64)
+		if s.a.Err != nil {
+			t.Fatal(s.a.Err)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("drained %d of 6", len(got))
+	}
+	for i, b := range got {
+		if !bytes.Equal(b, s.sentBodies[i]) {
+			t.Fatalf("message %d corrupted or misordered", i)
+		}
+	}
+	if err := s.r.mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSWPBackpressureFloor: even with a window of 1 the pressured
+// effective window never reaches zero, so the protocol cannot livelock —
+// one message stays in flight to carry acks back.
+func TestSWPBackpressureFloor(t *testing.T) {
+	s := newSWPRig(t, 0, false)
+	s.a.Window = 1
+	s.a.Backpressure = func() bool { return true }
+	var got int
+	s.b.SetAbove(captureLayer(s.r, func([]byte) { got++ }))
+	ctx := s.a.ctx
+	for i := 0; i < 5; i++ {
+		s.send(t, ctx, pattern(64))
+	}
+	for round := 0; round < 100 && got < 5; round++ {
+		s.timers.crank(s.a.RTO * 64)
+		if s.a.Err != nil {
+			t.Fatal(s.a.Err)
+		}
+	}
+	if got != 5 {
+		t.Fatalf("delivered %d of 5 under permanent pressure", got)
+	}
+}

@@ -10,11 +10,14 @@ import (
 // CopyHops partition successful hops; Episodes counts fast→copy
 // transitions (fbuf allocation failed) and Recoveries counts copy→fast
 // transitions (a probe allocation succeeded after reclaim).
+// ProbeFailures counts degraded-mode probes whose allocation failed
+// again — each one doubles the backoff interval.
 type AdaptiveStats struct {
-	FastHops   uint64
-	CopyHops   uint64
-	Episodes   uint64
-	Recoveries uint64
+	FastHops      uint64
+	CopyHops      uint64
+	Episodes      uint64
+	Recoveries    uint64
+	ProbeFailures uint64
 }
 
 // Adaptive is the graceful-degradation facility: it rides the fbuf fast
@@ -36,14 +39,21 @@ type Adaptive struct {
 
 	// RetryEvery is the number of degraded hops between fast-path probes
 	// (default 4). ReclaimPerProbe bounds chunks torn down before each
-	// probe (default 1).
+	// probe (default 1). BackoffCap bounds the exponential probe backoff:
+	// each failed probe doubles the interval, up to RetryEvery*BackoffCap
+	// hops; entering degradation (and every recovery) resets the interval
+	// to RetryEvery. Default 8; 1 disables backoff. A saturated manager
+	// is thus probed ever more rarely instead of paying a reclaim plus a
+	// doomed allocation every RetryEvery hops for the whole episode.
 	RetryEvery      int
 	ReclaimPerProbe int
+	BackoffCap      int
 
 	Stats AdaptiveStats
 
-	degraded   bool
-	sinceProbe int
+	degraded      bool
+	sinceProbe    int
+	probeInterval int // current backed-off interval (degraded mode only)
 }
 
 // NewAdaptive builds the facility. The copy path's buffers are allocated
@@ -58,7 +68,7 @@ func NewAdaptive(mgr *core.Manager, src, dst *domain.Domain, opts core.Options, 
 	if err != nil {
 		return nil, err
 	}
-	return &Adaptive{fb: fb, cp: cp, mgr: mgr, RetryEvery: 4, ReclaimPerProbe: 1}, nil
+	return &Adaptive{fb: fb, cp: cp, mgr: mgr, RetryEvery: 4, ReclaimPerProbe: 1, BackoffCap: 8}, nil
 }
 
 func (a *Adaptive) Name() string  { return "adaptive-" + a.fb.label }
@@ -66,6 +76,10 @@ func (a *Adaptive) MsgBytes() int { return a.fb.bytes }
 
 // Degraded reports whether the facility is currently on the copy path.
 func (a *Adaptive) Degraded() bool { return a.degraded }
+
+// Path exposes the fast path's data path (nil for uncached options) so
+// callers can attach tenant/quota/pinning policy to the connection.
+func (a *Adaptive) Path() *core.DataPath { return a.fb.Path() }
 
 // Hop performs one transfer on whichever path is currently live.
 func (a *Adaptive) Hop() error {
@@ -93,16 +107,18 @@ func (a *Adaptive) hop(payload []byte) ([]byte, error) {
 		}
 		a.degraded = true
 		a.sinceProbe = 0
+		a.probeInterval = a.RetryEvery
 		a.Stats.Episodes++
 		a.emit(obs.EvCopyFallback)
 	} else {
 		a.sinceProbe++
-		if a.sinceProbe >= a.RetryEvery {
+		if a.sinceProbe >= a.probeInterval {
 			a.sinceProbe = 0
 			a.mgr.ReclaimIdle(a.ReclaimPerProbe)
 			out, err := a.fbufOnce(payload)
 			if err == nil {
 				a.degraded = false
+				a.probeInterval = a.RetryEvery
 				a.Stats.Recoveries++
 				a.Stats.FastHops++
 				a.emit(obs.EvCopyRecover)
@@ -110,6 +126,17 @@ func (a *Adaptive) hop(payload []byte) ([]byte, error) {
 			}
 			if !core.IsAllocFailure(err) {
 				return nil, err
+			}
+			// Failed probe: back off exponentially so a saturated
+			// manager is not hammered for the whole episode.
+			a.Stats.ProbeFailures++
+			a.probeInterval *= 2
+			cap := a.RetryEvery * a.BackoffCap
+			if cap < a.RetryEvery {
+				cap = a.RetryEvery // BackoffCap < 1: backoff disabled
+			}
+			if a.probeInterval > cap {
+				a.probeInterval = cap
 			}
 		}
 	}

@@ -66,6 +66,7 @@ type Copier struct {
 	srcVA    vm.VA
 	dstVA    vm.VA
 	kbuf     []mem.FrameNum
+	closed   bool
 }
 
 // NewCopier builds the copy facility for the given message size.
@@ -196,11 +197,32 @@ func (c *Copier) Send(payload []byte) ([]byte, error) {
 
 // Close releases the copier's kernel bounce buffer. The sender's and
 // receiver's private buffers are torn down with their address spaces.
+// Close releases the kernel bounce buffer and both domains' copy buffers.
+// Long-lived domains churn through many connections, so the per-domain
+// buffers cannot wait for domain termination to be unmapped — that is a
+// frame leak proportional to churn. A dead domain's address space already
+// released its owned frames through the termination hook.
 func (c *Copier) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
 	for _, fn := range c.kbuf {
 		c.sys.Mem.DecRef(fn)
 	}
 	c.kbuf = nil
+	for _, side := range []struct {
+		d  *domain.Domain
+		va vm.VA
+	}{{c.src, c.srcVA}, {c.dst, c.dstVA}} {
+		if side.d.Dead() {
+			continue
+		}
+		for i := 0; i < c.pages; i++ {
+			side.d.AS.Unmap(side.va + vm.VA(i*machine.PageSize))
+		}
+		side.d.AS.FreeVA(side.va, c.pages)
+	}
 }
 
 // touchWritePages writes one word in each page covering bytes.
@@ -520,6 +542,11 @@ func FbufLabel(opts core.Options) string {
 
 func (f *FbufFacility) Name() string  { return f.label }
 func (f *FbufFacility) MsgBytes() int { return f.bytes }
+
+// Path exposes the facility's dedicated data path (nil for uncached
+// options) so callers can attach policy — tenant class, quota, cache
+// pinning — to the connection it models.
+func (f *FbufFacility) Path() *core.DataPath { return f.path }
 
 // Hop performs the alloc/write/transfer/read/free cycle. Each hop is its
 // own "hop"-labeled trace; the stage spans come from the core layer.
