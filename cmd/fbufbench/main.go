@@ -45,12 +45,12 @@ import (
 // validExperiments lists the -exp spellings ("chaos" runs only when named
 // explicitly; "all" covers the rest).
 var validExperiments = []string{
-	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "audit", "ablations", "chaos", "overload", "all",
+	"table1", "fig3", "fig4", "fig5", "fig6", "cpuload", "smp", "audit", "ablations", "chaos", "overload", "rings", "all",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, audit, ablations, chaos, overload, all (chaos and overload not in all)")
-	seed := flag.Int64("seed", 0, "run -exp overload with this single seed instead of the built-in matrix (0 = matrix; the JSON experiment always uses the pinned report seed)")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, cpuload, smp, audit, ablations, chaos, overload, rings, all (chaos, overload, and rings not in all)")
+	seed := flag.Int64("seed", 0, "run -exp overload or -exp rings with this single seed (0 = overload matrix / pinned rings seed; the JSON experiments always use the pinned report seed)")
 	parallel := flag.Int("parallel", 0, "also run the wall-clock parallel driver with N real goroutines (0 = off; numbers not written to the JSON report)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark report")
 	jsonPath := flag.String("json-out", "BENCH_report.json", "path for the -json report")
@@ -81,7 +81,7 @@ func main() {
 	// overload experiment instead.
 	var auditRep *bench.Report
 	var auditRes *bench.AuditResult
-	if (*baseline != "" && *exp != "overload") || *auditTrace != "" || (*jsonOut && *exp == "audit") {
+	if (*baseline != "" && *exp != "overload" && *exp != "rings") || *auditTrace != "" || (*jsonOut && *exp == "audit") {
 		var err error
 		auditRep, auditRes, err = bench.AuditReport()
 		if err != nil {
@@ -100,6 +100,16 @@ func main() {
 		}
 		overloadRep.Flags = flagSet()
 	}
+	var ringsRep *bench.Report
+	if *exp == "rings" && (*jsonOut || *baseline != "") {
+		var err error
+		ringsRep, err = bench.RingsReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+		ringsRep.Flags = flagSet()
+	}
 	if *jsonOut {
 		var err error
 		switch *exp {
@@ -108,6 +118,9 @@ func main() {
 		case "overload":
 			err = writeNamedReport(*jsonPath, overloadRep,
 				fmt.Sprintf("overload quick-class p99 %.0f ns", overloadRep.Experiments["overload"].Headline))
+		case "rings":
+			err = writeNamedReport(*jsonPath, ringsRep,
+				fmt.Sprintf("rings 64B e2e p99 %.0f ns", ringsRep.Experiments["rings"].Headline))
 		default:
 			err = writeReport(*jsonPath, flagSet())
 		}
@@ -126,6 +139,9 @@ func main() {
 		gate, rep, compare := "audit", auditRep, bench.CompareAudit
 		if *exp == "overload" {
 			gate, rep, compare = "overload", overloadRep, bench.CompareOverload
+		}
+		if *exp == "rings" {
+			gate, rep, compare = "rings", ringsRep, bench.CompareRings
 		}
 		if err := gateReport(*baseline, rep, compare); err != nil {
 			fmt.Fprintln(os.Stderr, "fbufbench:", err)
@@ -344,6 +360,12 @@ func run(w io.Writer, exp string, seed int64) error {
 			seeds = []int64{seed}
 		}
 		if err := show(bench.Overload(seeds...)); err != nil {
+			return err
+		}
+	}
+	if exp == "rings" { // not part of "all": the paper artifacts stay on the legacy plane
+		ran = true
+		if err := show(bench.Rings(seed)); err != nil {
 			return err
 		}
 	}

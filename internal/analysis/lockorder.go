@@ -60,6 +60,10 @@ var lockRank = map[string]int{
 	"Manager.cacheMu":  70,
 	"Tracer.mu":        70,
 	"Registry.mu":      70,
+	// rings.Pair.mu guards only the ring indexes and slot arrays; entries
+	// are popped under it and processed outside it, so nothing is ever
+	// acquired while it is held.
+	"Pair.mu": 70,
 }
 
 // heldLock is one live acquisition during the body walk.

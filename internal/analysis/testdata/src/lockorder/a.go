@@ -127,3 +127,42 @@ func twoFbufsAllowed(a, b *Fbuf) {
 	b.mu.Unlock()
 	a.mu.Unlock()
 }
+
+// --- Ring pair (PR 9): a leaf with pop-under-lock discipline -------------
+
+type Pair struct{ mu sync.Mutex }
+
+func ringPopUnderLock(f *Fbuf, r *Pair) {
+	f.mu.Lock()
+	r.mu.Lock() // leaf under Fbuf.mu: fine
+	r.mu.Unlock()
+	f.mu.Unlock()
+}
+
+func ringProcessOutsideLock(r *Pair, p *DataPath) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	p.mu.Lock() // ring lock released before processing: no nesting
+	p.mu.Unlock()
+}
+
+func ringThenPath(r *Pair, p *DataPath) {
+	r.mu.Lock()
+	p.mu.Lock() // want "lock order violation: acquiring DataPath.mu while holding Pair.mu"
+	p.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func ringThenAddrSpace(r *Pair, a *AddrSpace) {
+	r.mu.Lock()
+	a.mu.Lock() // want "lock order violation: acquiring AddrSpace.mu while holding Pair.mu"
+	a.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func ringSelfRelock(r *Pair) {
+	r.mu.Lock()
+	r.mu.Lock() // want "already holds this mutex"
+	r.mu.Unlock()
+	r.mu.Unlock()
+}

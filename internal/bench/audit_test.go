@@ -29,19 +29,21 @@ func TestAuditAttribution(t *testing.T) {
 	if gap > 0.05 {
 		t.Errorf("attribution %d vs e2e %d: off by %.1f%%", pr.AttributedNs, pr.E2ETotalNs, 100*gap)
 	}
-	// The cached path's cost structure: IPC control transfer must appear,
-	// and wire time must be attributed.
-	var sawIPC, sawLink bool
+	// The cached path's cost structure: control transfer must appear —
+	// the audit config runs with rings on, so it shows up as charged
+	// ring-doorbell time rather than legacy ipc — and wire time must be
+	// attributed.
+	var sawDoorbell, sawLink bool
 	for _, row := range pr.Stages {
-		if row.Layer == "ipc" {
-			sawIPC = true
+		if row.Layer == "ring-doorbell" && row.Stage == "ring" {
+			sawDoorbell = true
 		}
 		if row.Layer == "net" && row.Stage == "link" {
 			sawLink = true
 		}
 	}
-	if !sawIPC {
-		t.Error("no ipc stage in data-path attribution")
+	if !sawDoorbell {
+		t.Error("no ring-doorbell stage in data-path attribution")
 	}
 	if !sawLink {
 		t.Error("no net/link stage in data-path attribution")

@@ -198,6 +198,12 @@ func BuildReport() (*Report, error) {
 		return nil, err
 	}
 	rep.Experiments["overload"] = ov
+
+	rg, err := Rings(RingsSeed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Experiments["rings"] = rg.RingsExperiment()
 	return rep, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fbufs/internal/domain"
 	"fbufs/internal/machine"
 	"fbufs/internal/mem"
+	"fbufs/internal/rings"
 	"fbufs/internal/simtime"
 	"fbufs/internal/vm"
 )
@@ -39,6 +40,8 @@ const (
 	OpReclaim
 	OpDeliver
 	OpEvict
+	OpRingSubmit
+	OpRingDrain
 	NumOps
 )
 
@@ -74,6 +77,9 @@ const (
 	confNoticeLimit  = 2
 	confFrames       = 4096
 	confNumDoms      = 4 // kernel, A, B, C
+	// confRingDepth keeps the per-pair completion ring tiny so random
+	// sequences reach the ring-full skip path.
+	confRingDepth = 2
 )
 
 // pair links a model fbuf to its real counterpart; the link itself is an
@@ -96,6 +102,7 @@ type runner struct {
 	model  *Model
 	mpaths []*MPath
 	pairs  []pair
+	rings  map[noticeKey]*rings.Pair
 	step   int
 }
 
@@ -117,7 +124,8 @@ func newRunner(cfg Config) (*runner, error) {
 	mgr.DefaultQuota = confDefaultQuota
 	mgr.NoticeLimit = confNoticeLimit
 
-	r := &runner{cfg: cfg, clk: clk, sys: sys, mgr: mgr, reg: reg}
+	r := &runner{cfg: cfg, clk: clk, sys: sys, mgr: mgr, reg: reg,
+		rings: map[noticeKey]*rings.Pair{}}
 	kern := reg.Kernel()
 	a := reg.New("A")
 	b := reg.New("B")
@@ -126,6 +134,7 @@ func newRunner(cfg Config) (*runner, error) {
 
 	r.model = NewModel(confChunkPages, confNumChunks, confDefaultQuota, confNoticeLimit)
 	r.model.Hooks = cfg.Hooks
+	r.model.RingDepth = confRingDepth
 	for _, d := range r.doms {
 		r.model.AddDomain(int(d.ID), d.Name, d.Trusted)
 	}
@@ -241,6 +250,23 @@ func span(pages int, c, d byte) (off, n int) {
 var quotaTable = []int{-1, 0, 1, 2, 3}
 var reclaimTable = []int{1, 2, 4, 1024}
 
+// ring returns (lazily creating) the real ring pair for a (holder, owner)
+// notice direction, mirroring the model's Rings map. Capacity matches the
+// model's RingDepth so full/empty decisions stay comparable.
+func (r *runner) ring(holder, owner int) *rings.Pair {
+	k := noticeKey{holder: holder, owner: owner}
+	if pr, ok := r.rings[k]; ok {
+		return pr
+	}
+	pr, err := rings.NewPair(r.sys, fmt.Sprintf("conf-%d-%d", holder, owner),
+		confRingDepth, r.clk.Now, holder, owner)
+	if err != nil {
+		panic("conformance: ring pair: " + err.Error()) // capacity is a constant power of two
+	}
+	r.rings[k] = pr
+	return pr
+}
+
 // fail constructs a divergence for the current step.
 func (r *runner) fail(c Cmd, desc, format string, args ...interface{}) *Divergence {
 	return &Divergence{
@@ -342,6 +368,7 @@ func (r *runner) audit(c Cmd, desc string) *Divergence {
 		{"NoticesQueued", real.NoticesQueued, want.NoticesQueued},
 		{"NoticesPiggy", real.NoticesPiggy, want.NoticesPiggy},
 		{"NoticesExplicit", real.NoticesExplicit, want.NoticesExplicit},
+		{"NoticesRing", real.NoticesRing, want.NoticesRing},
 		{"FramesReclaimed", real.FramesReclaimed, want.FramesReclaimed},
 		{"LazyRefills", real.LazyRefills, want.LazyRefills},
 		{"AllocFailures", real.AllocFailures, want.AllocFailures},
@@ -571,6 +598,58 @@ func (r *runner) exec(c Cmd) (string, *Divergence) {
 		m.DeliverNotices(repID, calID)
 		return desc, nil
 
+	case OpRingSubmit:
+		hol, holID := r.domAt(c.A)
+		own, ownID := r.domAt(c.B)
+		desc := fmt.Sprintf("RingSubmit %s->%s", hol.Name, own.Name)
+		pr := r.ring(holID, ownID)
+		full := pr.CompletionsFull()
+		if want := m.RingFull(holID, ownID); full != want {
+			return desc, r.fail(c, desc, "ring full: model %v, implementation %v", want, full)
+		}
+		if full {
+			return desc + " (full)", nil
+		}
+		batch := r.mgr.CollectNotices(hol, own)
+		if got, want := len(batch), m.RingSubmit(holID, ownID); got != want {
+			return desc, r.fail(c, desc, "coalesced batch size: model %d, implementation %d", want, got)
+		}
+		if len(batch) > 0 {
+			if err := pr.Complete(rings.Completion{Op: "notices", Notices: len(batch), Payload: batch}); err != nil {
+				return desc, r.fail(c, desc, "completion post after full check: %v", err)
+			}
+		}
+		return desc, nil
+
+	case OpRingDrain:
+		hol, holID := r.domAt(c.A)
+		own, ownID := r.domAt(c.B)
+		desc := fmt.Sprintf("RingDrain %s->%s", hol.Name, own.Name)
+		gotEntries, gotNotices := 0, 0
+		r.ring(holID, ownID).DrainCompletions(func(cm rings.Completion) {
+			gotEntries++
+			if fs, ok := cm.Payload.([]*core.Fbuf); ok {
+				gotNotices += len(fs)
+				r.mgr.RetireNotices(fs)
+			}
+		})
+		wantEntries, wantNotices := 0, 0
+		for {
+			n := m.RingDrain(holID, ownID)
+			if n == 0 {
+				break
+			}
+			wantEntries++
+			wantNotices += n
+		}
+		if gotEntries != wantEntries || gotNotices != wantNotices {
+			return desc, r.fail(c, desc, "drained entries/notices: model %d/%d, implementation %d/%d",
+				wantEntries, wantNotices, gotEntries, gotNotices)
+		}
+		// Retiring recycles whole batches — the free-list identity oracle
+		// (registerAlloc) then proves no free was lost or duplicated.
+		return desc, r.audit(c, desc)
+
 	default: // OpEvict
 		_, rp, mp := r.pathAt(c.A)
 		desc := "EvictPath " + mp.Name
@@ -630,7 +709,7 @@ func Generate(seed int64, n int) []Cmd {
 		{OpAlloc, 18}, {OpAllocBatch, 7}, {OpTransfer, 18}, {OpSecure, 6},
 		{OpWrite, 11}, {OpRead, 11}, {OpFree, 16}, {OpFreeBatch, 5},
 		{OpDupRef, 4}, {OpSetQuota, 3}, {OpCrash, 1}, {OpReclaim, 3},
-		{OpDeliver, 3}, {OpEvict, 2},
+		{OpDeliver, 5}, {OpEvict, 2}, {OpRingSubmit, 3}, {OpRingDrain, 2},
 	}
 	total := 0
 	for _, w := range weights {

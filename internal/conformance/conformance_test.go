@@ -52,6 +52,7 @@ func TestConformanceCoverage(t *testing.T) {
 		sum.NoticesQueued += st.NoticesQueued
 		sum.NoticesPiggy += st.NoticesPiggy
 		sum.NoticesExplicit += st.NoticesExplicit
+		sum.NoticesRing += st.NoticesRing
 		sum.FramesReclaimed += st.FramesReclaimed
 		sum.LazyRefills += st.LazyRefills
 		sum.AllocFailures += st.AllocFailures
@@ -64,6 +65,7 @@ func TestConformanceCoverage(t *testing.T) {
 		{"Transfers", sum.Transfers}, {"MappingsBuilt", sum.MappingsBuilt},
 		{"Secures", sum.Secures}, {"NoticesQueued", sum.NoticesQueued},
 		{"NoticesPiggy", sum.NoticesPiggy}, {"NoticesExplicit", sum.NoticesExplicit},
+		{"NoticesRing", sum.NoticesRing},
 		{"FramesReclaimed", sum.FramesReclaimed}, {"LazyRefills", sum.LazyRefills},
 		{"AllocFailures", sum.AllocFailures},
 	}

@@ -133,6 +133,7 @@ type Stats struct {
 	NoticesQueued    uint64
 	NoticesPiggy     uint64
 	NoticesExplicit  uint64
+	NoticesRing      uint64
 	FramesReclaimed  uint64
 	LazyRefills      uint64
 	AllocFailures    uint64
@@ -220,6 +221,14 @@ type Model struct {
 	Domains    map[int]*MDomain
 	Paths      []*MPath
 	Notices    map[noticeKey][]*MFbuf
+	// Rings models the in-flight coalesced notice batches per (holder,
+	// owner) pair: each element is one completion entry, FIFO. Fbufs in a
+	// ring batch have left the notice queue but are still draining; a
+	// crash leaves them in place on both sides (only the queue is
+	// flushed), so they retire through the normal recycle flow later.
+	Rings map[noticeKey][][]*MFbuf
+	// RingDepth is the per-pair completion-ring capacity (0 = no rings).
+	RingDepth int
 	// Leaf records §3.2.4 empty-leaf aliases: per domain, the set of
 	// region page addresses where an unpermitted read installed the
 	// shared zero page. Such a page reads as zeros for that domain until
@@ -239,6 +248,7 @@ func NewModel(chunkPages, numChunks, defaultQuota, noticeLimit int) *Model {
 		NoticeLimit:  noticeLimit,
 		Domains:      map[int]*MDomain{},
 		Notices:      map[noticeKey][]*MFbuf{},
+		Rings:        map[noticeKey][][]*MFbuf{},
 		Leaf:         map[int]map[uint64]bool{},
 	}
 	for i := numChunks - 1; i >= 0; i-- {
@@ -662,6 +672,50 @@ func (m *Model) DeliverNotices(replier, caller int) {
 			m.recycle(f, nil)
 		}
 	}
+}
+
+// RingFull reports whether the (holder, owner) completion ring has no room
+// for another coalesced notice entry.
+func (m *Model) RingFull(holder, owner int) bool {
+	return m.RingDepth > 0 && len(m.Rings[noticeKey{holder: holder, owner: owner}]) >= m.RingDepth
+}
+
+// RingSubmit models Manager.CollectNotices plus posting one coalesced
+// completion entry: the pending notice batch moves from the queue into the
+// in-flight ring, its fbufs still draining. Returns the batch size; an
+// empty queue posts nothing.
+func (m *Model) RingSubmit(holder, owner int) int {
+	k := noticeKey{holder: holder, owner: owner}
+	batch := m.Notices[k]
+	if len(batch) == 0 {
+		return 0
+	}
+	delete(m.Notices, k)
+	m.Stats.NoticesRing += uint64(len(batch))
+	m.Rings[k] = append(m.Rings[k], batch)
+	return len(batch)
+}
+
+// RingDrain models retiring the oldest in-flight completion entry
+// (Manager.RetireNotices): its whole batch recycles in collection order.
+// Returns the batch size; 0 means the ring was empty (entries are never
+// empty, so the two cases cannot be confused).
+func (m *Model) RingDrain(holder, owner int) int {
+	k := noticeKey{holder: holder, owner: owner}
+	q := m.Rings[k]
+	if len(q) == 0 {
+		return 0
+	}
+	batch := q[0]
+	if len(q) == 1 {
+		delete(m.Rings, k)
+	} else {
+		m.Rings[k] = q[1:]
+	}
+	for _, f := range batch {
+		m.recycle(f, nil)
+	}
+	return len(batch)
 }
 
 // recycle returns an fbuf to its allocator: cached paths push it on the

@@ -1,0 +1,152 @@
+package conformance
+
+import (
+	"testing"
+
+	"fbufs/internal/core"
+	"fbufs/internal/domain"
+	"fbufs/internal/machine"
+	"fbufs/internal/rings"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// noticeRig is one half of the directed equivalence check: a two-domain
+// cached path whose frees all queue deallocation notices at the holder.
+type noticeRig struct {
+	clk  *simtime.Clock
+	sys  *vm.System
+	mgr  *core.Manager
+	a, b *domain.Domain
+	p    *core.DataPath
+}
+
+func newNoticeRig(t *testing.T) *noticeRig {
+	t.Helper()
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), confFrames, vm.ClockSink{Clock: clk})
+	reg := domain.NewRegistry(sys)
+	mgr := core.NewManager(sys, reg)
+	// Keep the explicit-overflow path out of the way: every queued notice
+	// waits for whichever delivery mechanism the rig under test uses.
+	mgr.NoticeLimit = 1 << 20
+	a, b := reg.New("A"), reg.New("B")
+	mgr.AttachDomain(a)
+	mgr.AttachDomain(b)
+	p, err := mgr.NewPath("equiv", core.CachedVolatile(), 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetQuota(64)
+	return &noticeRig{clk: clk, sys: sys, mgr: mgr, a: a, b: b, p: p}
+}
+
+// churn allocates n fbufs, transfers them A->B, and frees them at both
+// ends, leaving n deallocation notices queued at holder B for owner A.
+func (r *noticeRig) churn(t *testing.T, n int) []*core.Fbuf {
+	t.Helper()
+	out := make([]*core.Fbuf, n)
+	for i := 0; i < n; i++ {
+		fb, err := r.p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.mgr.Transfer(fb, r.a, r.b); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.mgr.Free(fb, r.a); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.mgr.Free(fb, r.b); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = fb
+	}
+	return out
+}
+
+// TestRingNoticeEquivalence is the coalescing oracle in directed form: the
+// same free stream delivered (a) piggybacked per reply via DeliverNotices
+// and (b) coalesced into ring completion entries via CollectNotices /
+// Complete / DrainCompletions / RetireNotices must leave the two
+// facilities in identical states — same recycle count, same free-list
+// reuse order (checked by allocation identity), no lost or duplicated
+// frees. Only the delivery-mechanism counters may differ (piggy vs ring).
+func TestRingNoticeEquivalence(t *testing.T) {
+	piggy := newNoticeRig(t)
+	ring := newNoticeRig(t)
+	pr, err := rings.NewPair(ring.sys, "equiv", 4, ring.clk.Now, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds, perRound = 3, 5
+	for round := 0; round < rounds; round++ {
+		piggy.churn(t, perRound)
+		ring.churn(t, perRound)
+
+		piggy.mgr.DeliverNotices(piggy.b, piggy.a)
+
+		batch := ring.mgr.CollectNotices(ring.b, ring.a)
+		if len(batch) != perRound {
+			t.Fatalf("round %d: collected %d notices, want %d", round, len(batch), perRound)
+		}
+		if err := pr.Complete(rings.Completion{Op: "notices", Notices: len(batch), Payload: batch}); err != nil {
+			t.Fatal(err)
+		}
+		pr.DrainCompletions(func(c rings.Completion) {
+			ring.mgr.RetireNotices(c.Payload.([]*core.Fbuf))
+		})
+	}
+
+	ps, rs := piggy.mgr.Snapshot(), ring.mgr.Snapshot()
+	if ps.NoticesPiggy != rs.NoticesRing {
+		t.Errorf("delivered counts differ: piggy rig %d piggybacked, ring rig %d coalesced",
+			ps.NoticesPiggy, rs.NoticesRing)
+	}
+	if rs.NoticesPiggy != 0 || ps.NoticesRing != 0 {
+		t.Errorf("cross-mechanism leakage: piggy rig ring=%d, ring rig piggy=%d",
+			ps.NoticesRing, rs.NoticesPiggy)
+	}
+	for _, ch := range []struct {
+		name      string
+		got, want uint64
+	}{
+		{"NoticesQueued", rs.NoticesQueued, ps.NoticesQueued},
+		{"Recycles", rs.Recycles, ps.Recycles},
+		{"Frees", rs.Frees, ps.Frees},
+		{"Allocs", rs.Allocs, ps.Allocs},
+		{"CacheHits", rs.CacheHits, ps.CacheHits},
+	} {
+		if ch.got != ch.want {
+			t.Errorf("stats.%s: ring rig %d, piggy rig %d", ch.name, ch.got, ch.want)
+		}
+	}
+	if st := pr.Stats(); st.NoticesCoalesced != rounds*perRound {
+		t.Errorf("ring coalesced %d notices, want %d", st.NoticesCoalesced, rounds*perRound)
+	}
+
+	// Free-list order oracle: both facilities must now hand out the same
+	// buffers (by region VA) in the same order — a lost, duplicated, or
+	// reordered free would skew the LIFO reuse sequence.
+	for i := 0; i < rounds*perRound; i++ {
+		pf, err := piggy.p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := ring.p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf.Base != rf.Base {
+			t.Fatalf("alloc %d: free-list order diverged: piggy rig va %#x, ring rig va %#x",
+				i, uint64(pf.Base), uint64(rf.Base))
+		}
+	}
+	if err := piggy.mgr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := ring.mgr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

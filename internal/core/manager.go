@@ -183,6 +183,11 @@ type Stats struct {
 	NoticesQueued   uint64
 	NoticesPiggy    uint64
 	NoticesExplicit uint64
+	// NoticesRing counts deallocation notices collected into a ring
+	// completion entry (one coalesced batch per drain) instead of riding a
+	// reply or an explicit overflow message (rings.go in internal/rings,
+	// wired via Manager.CollectNotices/RetireNotices).
+	NoticesRing     uint64
 	FramesReclaimed uint64
 	LazyRefills     uint64
 	// AllocFailures counts Alloc/AllocUncached calls that failed for lack
@@ -212,9 +217,9 @@ func (s Stats) Check() error {
 		return fmt.Errorf("core: stats drift: Allocs=%d != CacheHits=%d + CacheMisses=%d",
 			s.Allocs, s.CacheHits, s.CacheMisses)
 	}
-	if s.NoticesQueued < s.NoticesPiggy+s.NoticesExplicit {
-		return fmt.Errorf("core: stats drift: NoticesQueued=%d < NoticesPiggy=%d + NoticesExplicit=%d",
-			s.NoticesQueued, s.NoticesPiggy, s.NoticesExplicit)
+	if s.NoticesQueued < s.NoticesPiggy+s.NoticesExplicit+s.NoticesRing {
+		return fmt.Errorf("core: stats drift: NoticesQueued=%d < NoticesPiggy=%d + NoticesExplicit=%d + NoticesRing=%d",
+			s.NoticesQueued, s.NoticesPiggy, s.NoticesExplicit, s.NoticesRing)
 	}
 	// Every recycle is triggered by a free or by allocator teardown of a
 	// buffer that was allocated (ClosePath, failed populate rollback).
@@ -255,6 +260,7 @@ func (m *Manager) Snapshot() Stats {
 		NoticesQueued:    atomic.LoadUint64(&m.stats.NoticesQueued),
 		NoticesPiggy:     atomic.LoadUint64(&m.stats.NoticesPiggy),
 		NoticesExplicit:  atomic.LoadUint64(&m.stats.NoticesExplicit),
+		NoticesRing:      atomic.LoadUint64(&m.stats.NoticesRing),
 		FramesReclaimed:  atomic.LoadUint64(&m.stats.FramesReclaimed),
 		LazyRefills:      atomic.LoadUint64(&m.stats.LazyRefills),
 		AllocFailures:    atomic.LoadUint64(&m.stats.AllocFailures),
@@ -281,6 +287,7 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("core.notices_queued").Set(s.NoticesQueued)
 	reg.Counter("core.notices_piggy").Set(s.NoticesPiggy)
 	reg.Counter("core.notices_explicit").Set(s.NoticesExplicit)
+	reg.Counter("core.notices_ring").Set(s.NoticesRing)
 	reg.Counter("core.frames_reclaimed").Set(s.FramesReclaimed)
 	reg.Counter("core.lazy_refills").Set(s.LazyRefills)
 	reg.Counter("core.alloc_failures").Set(s.AllocFailures)

@@ -902,6 +902,39 @@ func (m *Manager) DeliverNotices(replier, caller *domain.Domain) {
 	}
 }
 
+// CollectNotices pops the pending deallocation notices held at holder for
+// fbufs owned by owner and counts them as ring-coalesced: the batch rides a
+// single ring completion entry instead of a reply, so no per-descriptor
+// marshalling is charged. The caller must hand the returned batch to
+// RetireNotices on the owner's side of the ring (directly if the
+// completion ring is full).
+func (m *Manager) CollectNotices(holder, owner *domain.Domain) []*Fbuf {
+	batch := m.popNotices(noticeKey{holder: holder.ID, owner: owner.ID})
+	if n := len(batch); n > 0 {
+		atomic.AddUint64(&m.stats.NoticesRing, uint64(n))
+		m.emit(obs.EvNoticeRing, holder, nil, int64(n))
+		m.observeNoticeBatch(n)
+	}
+	return batch
+}
+
+// RetireNotices recycles a batch previously popped by CollectNotices — the
+// owner side draining a coalesced-notice completion entry. Recycling
+// handles dead originators and closed paths the same way the piggyback
+// path does, so crash interplay is unchanged.
+func (m *Manager) RetireNotices(batch []*Fbuf) {
+	if len(batch) == 0 {
+		return
+	}
+	if o := m.Sys.Obs; o != nil {
+		o.SpanBegin(span.StageNotice, "core", obs.NoActor, int64(len(batch)))
+		defer o.SpanEnd()
+	}
+	for _, f := range batch {
+		m.recycle(f)
+	}
+}
+
 // observeNoticeBatch samples the notice batch-size histogram.
 func (m *Manager) observeNoticeBatch(n int) {
 	if o := m.Sys.Obs; o != nil {

@@ -106,6 +106,13 @@ type Config struct {
 	// base 0, host B gets base 100, so one Perfetto trace shows both
 	// machines' domains as distinct processes (prefixed "A."/"B.").
 	Obs *obs.Observer
+	// UseRings routes every cross-domain call between the stack's layers
+	// through shared-memory submission/completion rings (internal/rings):
+	// only doorbells on empty→non-empty transitions are charged as
+	// control transfers, descriptors cross unmarshalled, and deallocation
+	// notices coalesce into one completion entry per drain. Off by
+	// default, leaving the legacy per-transfer IPC path byte-identical.
+	UseRings bool
 	// AdmissionBudget, when positive, installs a per-tenant admission
 	// controller on each host with that many chunks of budget: the app
 	// data path joins an "app" class (weight 3) and the protocol header
@@ -308,12 +315,26 @@ func newHost(sched *simtime.Scheduler, name string, cfg Config, txVCI, rxVCI osi
 		return nil, err
 	}
 
+	if cfg.UseRings {
+		// Enable the ring data plane before any Connect runs so the
+		// cross-domain links ring-attach their domain pairs (the doorbell
+		// cost latches the surcharge set by the placement above). The
+		// spin-then-block policy runs on the host's live virtual clock.
+		h.Env.Router.EnableRings(h.virtualNow)
+		h.Test.Rings = true
+		h.Ack.Rings = true
+		h.UDP.Rings = true
+		h.IP.Rings = true
+		h.Driver.Rings = true
+	}
+
 	dataSess := h.UDP.OpenSession(dataPort, dataPort)
 	ackSess := h.UDP.OpenSession(ackPort, ackPort)
 	if cfg.UseSWP {
 		// test <-> SWP <-> UDP session: the transport provides windowing,
 		// ordering, and retransmission over the (possibly lossy) link.
 		h.SWP = protocols.NewSWP(h.Env, ackCtx, hostTimers{h})
+		h.SWP.Rings = cfg.UseRings
 		h.SWP.Window = cfg.Window
 		if h.SWP.Window <= 0 {
 			h.SWP.Window = 8
@@ -343,6 +364,13 @@ func newHost(sched *simtime.Scheduler, name string, cfg Config, txVCI, rxVCI osi
 	h.ctxs = []*aggregate.Ctx{appCtx, ackCtx, udpCtx, ipCtx}
 	h.cfg = cfg
 	return h, nil
+}
+
+// virtualNow is the live virtual instant inside a metered task: the event
+// clock plus the CPU work the running task has accrued so far. The ring
+// spin-then-block policy keys off it.
+func (h *Host) virtualNow() simtime.Time {
+	return h.sched.Now() + h.meter.Total
 }
 
 // Shutdown tears the host's protocol stack down after a run: every

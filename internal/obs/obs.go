@@ -55,6 +55,7 @@ const (
 	EvDomainCrash
 	EvPathEvict
 	EvAdmissionReject
+	EvNoticeRing
 
 	numEventKinds
 )
@@ -88,6 +89,7 @@ var eventNames = [numEventKinds]string{
 	EvDomainCrash:     "DomainCrash",
 	EvPathEvict:       "PathEvict",
 	EvAdmissionReject: "AdmissionReject",
+	EvNoticeRing:      "NoticeRing",
 }
 
 func (k EventKind) String() string {

@@ -50,6 +50,7 @@ const (
 	StageFault
 	StageCopy
 	StageWait
+	StageRing
 
 	numStages
 )
@@ -69,6 +70,7 @@ var stageNames = [numStages]string{
 	StageFault:    "fault",
 	StageCopy:     "copy",
 	StageWait:     "wait",
+	StageRing:     "ring",
 }
 
 func (s Stage) String() string {

@@ -1,0 +1,327 @@
+package rings
+
+import (
+	"testing"
+
+	"fbufs/internal/machine"
+	"fbufs/internal/simtime"
+	"fbufs/internal/vm"
+)
+
+// newTestPair builds a pair over a clock-advancing cost sink so doorbell
+// charges are visible as simulated time.
+func newTestPair(t *testing.T, capacity int) (*Pair, *simtime.Clock) {
+	t.Helper()
+	clk := &simtime.Clock{}
+	sys := vm.NewSystem(machine.DecStation5000(), 64, vm.ClockSink{Clock: clk})
+	pr, err := NewPair(sys, "test", capacity, clk.Now, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.DoorbellCost = sys.Cost.IPCLatency
+	return pr, clk
+}
+
+func TestCapacityValidation(t *testing.T) {
+	for _, bad := range []int{-1, 3, 5, 6, 7, 100, 1 << 31} {
+		if _, err := newIndexes(bad); err == nil {
+			t.Errorf("newIndexes(%d) accepted a non-power-of-two", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 4, 64, 1 << 20} {
+		if _, err := newIndexes(good); err != nil {
+			t.Errorf("newIndexes(%d): %v", good, err)
+		}
+	}
+}
+
+// TestFullEmptyDisambiguation checks that the free-running indexes tell a
+// full ring from an empty one without wasting a slot.
+func TestFullEmptyDisambiguation(t *testing.T) {
+	ix, err := newIndexes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.empty() || ix.full() {
+		t.Fatalf("fresh ring: empty=%v full=%v", ix.empty(), ix.full())
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := ix.push(); !ok {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if !ix.full() || ix.empty() {
+		t.Fatalf("after 4 pushes: empty=%v full=%v", ix.empty(), ix.full())
+	}
+	if _, ok := ix.push(); ok {
+		t.Fatal("push accepted on a full ring")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := ix.pop(); !ok {
+			t.Fatalf("pop %d refused while occupied", i)
+		}
+	}
+	if !ix.empty() {
+		t.Fatal("ring not empty after draining all entries")
+	}
+	if _, ok := ix.pop(); ok {
+		t.Fatal("pop succeeded on an empty ring")
+	}
+}
+
+// TestIndexWrapAround starts the free-running indexes just below the uint32
+// limit and pushes across the overflow boundary.
+func TestIndexWrapAround(t *testing.T) {
+	ix, err := newIndexes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := ^uint32(0) - 3 // overflow mid-sequence
+	ix.head, ix.tail = start, start
+	for i := 0; i < 100; i++ {
+		slot, ok := ix.push()
+		if !ok {
+			t.Fatalf("push %d refused", i)
+		}
+		if want := (start + uint32(i)) & ix.mask; slot != want {
+			t.Fatalf("push %d: slot %d, want %d", i, slot, want)
+		}
+		if ix.occupancy() != 1 {
+			t.Fatalf("push %d: occupancy %d, want 1", i, ix.occupancy())
+		}
+		pslot, ok := ix.pop()
+		if !ok || pslot != slot {
+			t.Fatalf("pop %d: slot %d ok=%v, want %d", i, pslot, ok, slot)
+		}
+	}
+	if !ix.empty() {
+		t.Fatal("not empty after balanced push/pop across wrap")
+	}
+}
+
+// TestDoorbellOnEmptyTransitionOnly: the first submission into an empty
+// ring with a blocked consumer rings (and charges) the doorbell; further
+// submissions into a non-empty ring are free, and submissions landing
+// inside the consumer's post-drain spin window are free too.
+func TestDoorbellOnEmptyTransitionOnly(t *testing.T) {
+	pr, clk := newTestPair(t, 8)
+	cost := pr.DoorbellCost
+
+	if err := pr.Submit(Entry{Op: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now(); got != cost {
+		t.Fatalf("first submit charged %v, want doorbell cost %v", got, cost)
+	}
+	if err := pr.Submit(Entry{Op: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now(); got != cost {
+		t.Fatalf("second submit into non-empty ring charged %v extra", got-cost)
+	}
+	n, err := pr.Drain(func(Entry) error { return nil })
+	if err != nil || n != 2 {
+		t.Fatalf("drain: n=%d err=%v", n, err)
+	}
+	// Within the consumer's spin window the next empty→non-empty
+	// transition is a spin hit: nothing charged.
+	before := clk.Now()
+	if err := pr.Submit(Entry{Op: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now(); got != before {
+		t.Fatalf("spin-window submit charged %v", got-before)
+	}
+	st := pr.Stats()
+	if st.Doorbells != 1 || st.SpinHits != 1 || st.Submits != 3 {
+		t.Fatalf("stats = %+v, want 1 doorbell, 1 spin hit, 3 submits", st)
+	}
+	// Let the spin window lapse: the transition after the next drain
+	// rings the doorbell again.
+	pr.Drain(func(Entry) error { return nil })
+	_, consBudget := pr.SpinBudgets()
+	clk.Advance(consBudget + 1)
+	before = clk.Now()
+	if err := pr.Submit(Entry{Op: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now(); got != before+cost {
+		t.Fatalf("post-lapse submit charged %v, want %v", got-before, cost)
+	}
+}
+
+// TestAdaptiveSpinBudget: doorbells double the budget (the consumer blocked
+// too early) up to the cap; spin hits decay it by an eighth down to the
+// floor, so the budget converges just above the inter-arrival time.
+func TestAdaptiveSpinBudget(t *testing.T) {
+	pr, clk := newTestPair(t, 4)
+	_, b0 := pr.SpinBudgets()
+	if b0 != spinInit {
+		t.Fatalf("initial budget %v, want %v", b0, spinInit)
+	}
+	// First submit: doorbell (consumer never drained) → double.
+	pr.Submit(Entry{})
+	if _, b := pr.SpinBudgets(); b != spinInit*2 {
+		t.Fatalf("budget after doorbell %v, want %v", b, spinInit*2)
+	}
+	// Repeated doorbells double up to the cap.
+	for i := 0; i < 16; i++ {
+		pr.Drain(func(Entry) error { return nil })
+		clk.Advance(spinMax + 1)
+		pr.Submit(Entry{})
+	}
+	if _, b := pr.SpinBudgets(); b != spinMax {
+		t.Fatalf("budget after sustained doorbells %v, want cap %v", b, spinMax)
+	}
+	// Repeated spin hits decay down to the floor.
+	for i := 0; i < 64; i++ {
+		pr.Drain(func(Entry) error { return nil })
+		pr.Submit(Entry{})
+	}
+	if _, b := pr.SpinBudgets(); b != spinMin {
+		t.Fatalf("budget after sustained spin hits %v, want floor %v", b, spinMin)
+	}
+	// Steady inter-arrival traffic settles into mostly-elided arrivals: the
+	// budget oscillates just above the gap, ringing only probing doorbells.
+	before := pr.Stats()
+	const gap = 300 * 1000 // 300 us, between spinMin and spinMax
+	for i := 0; i < 100; i++ {
+		pr.Drain(func(Entry) error { return nil })
+		clk.Advance(gap)
+		pr.Submit(Entry{})
+	}
+	d := pr.Stats().Doorbells - before.Doorbells
+	if d >= 50 {
+		t.Fatalf("steady traffic rang %d/100 doorbells, want minority", d)
+	}
+}
+
+// TestSubmitFallback: a full submission ring refuses the entry (the caller
+// falls back to legacy IPC) without charging or losing anything.
+func TestSubmitFallback(t *testing.T) {
+	pr, clk := newTestPair(t, 2)
+	if err := pr.Submit(Entry{Op: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	charged := clk.Now()
+	if err := pr.Submit(Entry{Op: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.SubmissionsFull() {
+		t.Fatal("SubmissionsFull false at capacity")
+	}
+	if err := pr.Submit(Entry{Op: "c"}); err != ErrFull {
+		t.Fatalf("overflow submit: %v, want ErrFull", err)
+	}
+	if clk.Now() != charged {
+		t.Fatal("refused submit charged something")
+	}
+	var ops []string
+	pr.Drain(func(e Entry) error { ops = append(ops, e.Op); return nil })
+	if len(ops) != 2 || ops[0] != "a" || ops[1] != "b" {
+		t.Fatalf("drained %v, want [a b]", ops)
+	}
+	if st := pr.Stats(); st.SubmitFallbacks != 1 {
+		t.Fatalf("SubmitFallbacks = %d, want 1", st.SubmitFallbacks)
+	}
+}
+
+// TestCompletionCoalescing: completion entries carry whole notice batches
+// and the attending producer reaps them without a doorbell.
+func TestCompletionCoalescing(t *testing.T) {
+	pr, clk := newTestPair(t, 8)
+	pr.Submit(Entry{Op: "call"})
+	afterSubmit := clk.Now()
+	pr.Drain(func(Entry) error { return nil })
+	if err := pr.Complete(Completion{Op: "call", Notices: 5, Payload: "batch"}); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != afterSubmit {
+		t.Fatal("completion to an attending producer charged a doorbell")
+	}
+	var got []Completion
+	if n := pr.DrainCompletions(func(c Completion) { got = append(got, c) }); n != 1 {
+		t.Fatalf("drained %d completions, want 1", n)
+	}
+	if got[0].Notices != 5 || got[0].Payload != "batch" {
+		t.Fatalf("completion %+v lost its coalesced batch", got[0])
+	}
+	st := pr.Stats()
+	if st.NoticesCoalesced != 5 || st.Completions != 1 {
+		t.Fatalf("stats = %+v, want 5 coalesced notices in 1 completion", st)
+	}
+}
+
+// TestCompletionFallback: a full completion ring refuses the entry so the
+// caller can deliver the batch directly.
+func TestCompletionFallback(t *testing.T) {
+	pr, _ := newTestPair(t, 2)
+	pr.Complete(Completion{Notices: 1})
+	pr.Complete(Completion{Notices: 1})
+	if !pr.CompletionsFull() {
+		t.Fatal("CompletionsFull false at capacity")
+	}
+	if err := pr.Complete(Completion{Notices: 1}); err != ErrFull {
+		t.Fatalf("overflow complete: %v, want ErrFull", err)
+	}
+	if st := pr.Stats(); st.CompleteFallback != 1 || st.NoticesCoalesced != 2 {
+		t.Fatalf("stats = %+v, want 1 fallback, 2 coalesced", st)
+	}
+}
+
+// TestDrainStopsOnError: a failing handler leaves later entries queued.
+func TestDrainStopsOnError(t *testing.T) {
+	pr, _ := newTestPair(t, 8)
+	pr.Submit(Entry{Op: "a"})
+	pr.Submit(Entry{Op: "b"})
+	pr.Submit(Entry{Op: "c"})
+	wantErr := ErrFull // any sentinel
+	n, err := pr.Drain(func(e Entry) error {
+		if e.Op == "b" {
+			return wantErr
+		}
+		return nil
+	})
+	if n != 2 || err != wantErr {
+		t.Fatalf("drain: n=%d err=%v, want 2, %v", n, err, wantErr)
+	}
+	if sq, _ := pr.Depths(); sq != 1 {
+		t.Fatalf("sq depth %d after failed drain, want 1", sq)
+	}
+	n, err = pr.Drain(func(Entry) error { return nil })
+	if n != 1 || err != nil {
+		t.Fatalf("resumed drain: n=%d err=%v", n, err)
+	}
+}
+
+// TestRingCycles pushes many full fill/drain cycles through a small ring so
+// the free-running indexes lap their capacity many times over.
+func TestRingCycles(t *testing.T) {
+	pr, _ := newTestPair(t, 4)
+	next, drained := 0, 0
+	for cycle := 0; cycle < 1000; cycle++ {
+		for i := 0; i < 4; i++ {
+			if err := pr.Submit(Entry{Descriptors: next}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := pr.Submit(Entry{}); err != ErrFull {
+			t.Fatalf("cycle %d: overflow submit err=%v", cycle, err)
+		}
+		pr.Drain(func(e Entry) error {
+			if e.Descriptors != drained {
+				t.Fatalf("cycle %d: drained %d, want %d", cycle, e.Descriptors, drained)
+			}
+			drained++
+			return nil
+		})
+	}
+	if drained != next {
+		t.Fatalf("drained %d of %d", drained, next)
+	}
+	st := pr.Stats()
+	if st.Submits != uint64(next) || st.Drained != uint64(drained) {
+		t.Fatalf("stats %+v, want %d submits and drains", st, next)
+	}
+}

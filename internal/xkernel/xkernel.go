@@ -48,11 +48,48 @@ type Env struct {
 }
 
 // NewEnv wires an Env and registers the fbuf manager's deallocation-notice
-// hook on the IPC router (notices ride on RPC replies, section 3.3).
+// hook on the IPC router (notices ride on RPC replies, section 3.3) plus
+// the ring-mode notice source/sink (notices ride coalesced completion
+// entries when a domain pair is ring-attached).
 func NewEnv(sys *vm.System, mgr *core.Manager, reg *domain.Registry) *Env {
 	e := &Env{Sys: sys, Mgr: mgr, Reg: reg, Router: ipc.NewRouter(sys)}
 	e.Router.OnReply(mgr.DeliverNotices)
+	e.Router.SetNoticeHooks(
+		func(holder, owner *domain.Domain) (interface{}, int) {
+			b := mgr.CollectNotices(holder, owner)
+			if len(b) == 0 {
+				return nil, 0
+			}
+			return b, len(b)
+		},
+		func(batch interface{}) {
+			if fs, ok := batch.([]*core.Fbuf); ok {
+				mgr.RetireNotices(fs)
+			}
+		},
+	)
 	return e
+}
+
+// RingCapable is implemented by layers that opt their cross-domain
+// invocations into the shared-memory ring data plane. Connect and Attach
+// consult it: when either endpoint of a cross-domain link is eligible (and
+// the router has rings enabled), the domain pair is ring-attached in both
+// directions and every call between those domains rides the rings.
+type RingCapable interface {
+	RingEligible() bool
+}
+
+func ringEligible(l Layer) bool {
+	rc, ok := l.(RingCapable)
+	return ok && rc.RingEligible()
+}
+
+// attachRings maps the ring pair for both directions of a cross-domain
+// link. No-op when the router is not in ring mode.
+func attachRings(env *Env, a, b *domain.Domain) {
+	env.Router.AttachRing(a, b)
+	env.Router.AttachRing(b, a)
 }
 
 // Base provides the linking boilerplate layers embed.
@@ -111,6 +148,9 @@ func Connect(env *Env, upper, lower Layer) {
 	p := newProxy(env, upper, lower, lower.Dom())
 	upper.SetBelow(p.upperStub)
 	lower.SetAbove(p.lowerStub)
+	if ringEligible(upper) || ringEligible(lower) {
+		attachRings(env, upper.Dom(), lower.Dom())
+	}
 }
 
 // Attach returns a delivery handle for upper usable from code running in
@@ -123,6 +163,9 @@ func Attach(env *Env, upper Layer, lowerDom *domain.Domain) Layer {
 		return upper
 	}
 	p := newProxy(env, upper, nil, lowerDom)
+	if ringEligible(upper) {
+		attachRings(env, upper.Dom(), lowerDom)
+	}
 	return p.lowerStub
 }
 
