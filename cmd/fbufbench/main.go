@@ -25,10 +25,15 @@
 // rejections, copy-fallback duty cycle); -seed N narrows it to one seed
 // for CI matrix fan-out, and -json/-baseline write and gate an
 // overload-only report the same way the audit pair does.
-// -exp smp prints the deterministic simulated-SMP scaling table;
-// -parallel N additionally runs the wall-clock driver with N real
-// goroutines (opt-in: the default run stays single-threaded and
-// deterministic, and wall-clock numbers never enter the JSON report).
+// -exp smp prints the deterministic simulated-SMP scaling tables — the
+// cycle sweep, the 8/16/64-worker burst sweep (global lock vs magazine vs
+// depot), and the per-shard depot contention heatmap; -seed N perturbs
+// the burst harness's shard placement for the determinism matrix, and
+// -json/-baseline write and gate an smp-only report (heatmap p99s)
+// against BENCH_smp_baseline.json like the other gates. -parallel N
+// additionally runs the wall-clock driver with N real goroutines (opt-in:
+// the default run stays single-threaded and deterministic, and wall-clock
+// numbers never enter the JSON report).
 package main
 
 import (
@@ -81,7 +86,7 @@ func main() {
 	// overload experiment instead.
 	var auditRep *bench.Report
 	var auditRes *bench.AuditResult
-	if (*baseline != "" && *exp != "overload" && *exp != "rings") || *auditTrace != "" || (*jsonOut && *exp == "audit") {
+	if (*baseline != "" && *exp != "overload" && *exp != "rings" && *exp != "smp") || *auditTrace != "" || (*jsonOut && *exp == "audit") {
 		var err error
 		auditRep, auditRes, err = bench.AuditReport()
 		if err != nil {
@@ -110,6 +115,16 @@ func main() {
 		}
 		ringsRep.Flags = flagSet()
 	}
+	var smpRep *bench.Report
+	if *exp == "smp" && (*jsonOut || *baseline != "") {
+		var err error
+		smpRep, err = bench.SMPReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbufbench:", err)
+			os.Exit(1)
+		}
+		smpRep.Flags = flagSet()
+	}
 	if *jsonOut {
 		var err error
 		switch *exp {
@@ -121,6 +136,9 @@ func main() {
 		case "rings":
 			err = writeNamedReport(*jsonPath, ringsRep,
 				fmt.Sprintf("rings 64B e2e p99 %.0f ns", ringsRep.Experiments["rings"].Headline))
+		case "smp":
+			err = writeNamedReport(*jsonPath, smpRep,
+				fmt.Sprintf("smp burst depot 8w speedup %.2fx", smpRep.Experiments["smp_scaling"].Headline))
 		default:
 			err = writeReport(*jsonPath, flagSet())
 		}
@@ -142,6 +160,9 @@ func main() {
 		}
 		if *exp == "rings" {
 			gate, rep, compare = "rings", ringsRep, bench.CompareRings
+		}
+		if *exp == "smp" {
+			gate, rep, compare = "smp_scaling", smpRep, bench.CompareSMP
 		}
 		if err := gateReport(*baseline, rep, compare); err != nil {
 			fmt.Fprintln(os.Stderr, "fbufbench:", err)
@@ -337,8 +358,18 @@ func run(w io.Writer, exp string, seed int64) error {
 	}
 	if all || exp == "smp" {
 		ran = true
-		if err := show(bench.SMPScaling()); err != nil {
+		s := seed
+		if s == 0 {
+			s = bench.SMPSeed
+		}
+		tables, err := bench.SMPScaling(s)
+		if err != nil {
 			return err
+		}
+		for _, t := range tables {
+			if err := show(t, nil); err != nil {
+				return err
+			}
 		}
 	}
 	if all || exp == "audit" {

@@ -9,8 +9,13 @@ import (
 // fbuf facility (DESIGN.md §10). Every mutex that matters has a rank:
 //
 //	DataPath.mu → Manager.regionMu → chunk.mu → Fbuf.mu → Sanitizer.mu
-//	→ AddrSpace.mu → leaf locks (TLB.mu, PhysMem.mu, Plane.mu,
-//	Manager.noticeMu, Manager.cacheMu, Tracer.mu, Registry.mu)
+//	→ AddrSpace.mu → Depot.mu → leaf locks (TLB.mu, PhysMem.mu, Plane.mu,
+//	Manager.noticeMu, Manager.cacheMu, Tracer.mu, Registry.mu,
+//	depotShard.mu, epochState.mu)
+//
+// Depot.mu ranks just below the leaves because a depot assembling or
+// spilling a unit takes shard locks while holding it; the shards and the
+// epoch state are true leaves.
 //
 // and a function that acquires a lock while directly holding one of
 // strictly higher rank is reported — that inversion is the shape of every
@@ -40,7 +45,7 @@ var LockOrder = &Analyzer{
 }
 
 // lockOrderDoc is the ranking recited in diagnostics.
-const lockOrderDoc = "DataPath.mu → Manager.regionMu → chunk.mu → Fbuf.mu → Sanitizer.mu → AddrSpace.mu → leaf locks"
+const lockOrderDoc = "DataPath.mu → Manager.regionMu → chunk.mu → Fbuf.mu → Sanitizer.mu → AddrSpace.mu → Depot.mu → leaf locks"
 
 // lockRank maps OwnerType.field to its position in the documented order.
 // Matching is by type and field name (unique across the module), so the
@@ -52,6 +57,9 @@ var lockRank = map[string]int{
 	"Fbuf.mu":          40,
 	"Sanitizer.mu":     50,
 	"AddrSpace.mu":     60,
+	// Depot.mu (PR 10) sits below the leaves: unit assembly and spill take
+	// shard locks while holding it.
+	"Depot.mu": 65,
 	// Leaf locks: rank-equal, never nested within each other.
 	"TLB.mu":           70,
 	"PhysMem.mu":       70,
@@ -64,6 +72,11 @@ var lockRank = map[string]int{
 	// are popped under it and processed outside it, so nothing is ever
 	// acquired while it is held.
 	"Pair.mu": 70,
+	// PR 10 leaves: a depot shard's loose-inventory list and the epoch
+	// machinery's parked-frame list. AdvanceEpoch retires frames outside
+	// epochState.mu precisely so it stays a leaf.
+	"depotShard.mu": 70,
+	"epochState.mu": 70,
 }
 
 // heldLock is one live acquisition during the body walk.

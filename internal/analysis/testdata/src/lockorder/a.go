@@ -166,3 +166,60 @@ func ringSelfRelock(r *Pair) {
 	r.mu.Unlock()
 	r.mu.Unlock()
 }
+
+// --- Depot layer (PR 10): depot above the shard/epoch leaves -------------
+
+type Depot struct{ mu sync.Mutex }
+
+type depotShard struct{ mu sync.Mutex }
+
+type epochState struct{ mu sync.Mutex }
+
+func depotTakesShard(d *Depot, s *depotShard) {
+	d.mu.Lock()
+	s.mu.Lock() // assembly: shard leaf under Depot.mu is the designed order
+	s.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func pathThenDepot(p *DataPath, d *Depot) {
+	p.lock()
+	d.mu.Lock() // DepotCharge: path lock strictly before depot locks
+	d.mu.Unlock()
+	p.unlock()
+}
+
+func twoShardsAllowed(a, b *depotShard) {
+	a.mu.Lock()
+	b.mu.Lock() // distinct shard instances at one rank: spill order rules
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func shardThenDepot(s *depotShard, d *Depot) {
+	s.mu.Lock()
+	d.mu.Lock() // want "lock order violation: acquiring Depot.mu while holding depotShard.mu"
+	d.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func epochThenPath(e *epochState, p *DataPath) {
+	e.mu.Lock()
+	p.mu.Lock() // want "lock order violation: acquiring DataPath.mu while holding epochState.mu"
+	p.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func depotThenFbuf(d *Depot, f *Fbuf) {
+	d.mu.Lock()
+	f.mu.Lock() // want "lock order violation: acquiring Fbuf.mu while holding Depot.mu"
+	f.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func depotSelfRelock(d *Depot) {
+	d.mu.Lock()
+	d.mu.Lock() // want "already holds this mutex"
+	d.mu.Unlock()
+	d.mu.Unlock()
+}

@@ -173,13 +173,13 @@ func BuildReport() (*Report, error) {
 		Values:   counters,
 	}
 
-	smp, _, err := smpScalingValues()
+	smp, _, err := smpAllValues(SMPSeed)
 	if err != nil {
 		return nil, err
 	}
 	rep.Experiments["smp_scaling"] = Experiment{
 		Unit:     "ops/s (speedups and counters unitless)",
-		Headline: smp["speedup magazine 4w"],
+		Headline: smp["speedup burst depot 8w"],
 		Values:   smp,
 	}
 

@@ -42,6 +42,8 @@ const (
 	OpEvict
 	OpRingSubmit
 	OpRingDrain
+	OpDepotExchange
+	OpEpochAdvance
 	NumOps
 )
 
@@ -80,6 +82,11 @@ const (
 	// confRingDepth keeps the per-pair completion ring tiny so random
 	// sequences reach the ring-full skip path.
 	confRingDepth = 2
+	// Depot geometry on cached paths: 2-fbuf units, 2 shards, and a
+	// one-unit stack so a second charge spills into the shards.
+	confDepotUnit    = 2
+	confDepotShards  = 2
+	confDepotMaxFull = 1
 )
 
 // pair links a model fbuf to its real counterpart; the link itself is an
@@ -103,6 +110,7 @@ type runner struct {
 	mpaths []*MPath
 	pairs  []pair
 	rings  map[noticeKey]*rings.Pair
+	epoch  *core.EpochWorker
 	step   int
 }
 
@@ -162,9 +170,25 @@ func newRunner(cfg Config) (*runner, error) {
 			ids[i] = int(d.ID)
 		}
 		mp := r.model.AddPath(p.ID, s.name, s.opts, s.pages, ids...)
+		// Cached paths get a depot in conformance geometry: tiny units and
+		// a one-unit stack so charge sequences reach the spill path inside
+		// a handful of commands.
+		if s.opts.Cached {
+			d := p.EnableDepot(confDepotUnit, confDepotShards)
+			d.SetMaxFull(confDepotMaxFull)
+			mp.Depot = &MDepot{
+				Unit: confDepotUnit, MaxFull: confDepotMaxFull,
+				Shards: make([][]*MFbuf, confDepotShards),
+			}
+		}
 		r.paths = append(r.paths, p)
 		r.mpaths = append(r.mpaths, mp)
 	}
+	// One epoch worker: registering it flips every frame release in the
+	// real stack to epoch-deferred, and the model's epoch starts at 1 to
+	// match RegisterEpochWorker.
+	r.epoch = mgr.RegisterEpochWorker()
+	r.model.Epoch = 1
 	return r, nil
 }
 
@@ -351,6 +375,24 @@ func (r *runner) audit(c Cmd, desc string) *Divergence {
 		if got, want := rp.Quota(), r.model.EffQuota(mp); got != want {
 			return r.fail(c, desc, "path %s effective quota: model %d, implementation %d", mp.Name, want, got)
 		}
+		// Depot-inventory invariant: the depot's fbuf count and per-shard
+		// depths must match the model exchange for exchange.
+		if d := rp.Depot(); d != nil && mp.Depot != nil {
+			if got, want := d.Inventory(), mp.Depot.inventory(); got != want {
+				return r.fail(c, desc, "path %s depot inventory: model %d, implementation %d", mp.Name, want, got)
+			}
+			for s, st := range d.ShardStats() {
+				if got, want := st.Depth, len(mp.Depot.Shards[s]); got != want {
+					return r.fail(c, desc, "path %s depot shard %d depth: model %d, implementation %d", mp.Name, s, want, got)
+				}
+			}
+		}
+	}
+	if got, want := r.mgr.EpochNow(), r.model.Epoch; got != want {
+		return r.fail(c, desc, "epoch: model %d, implementation %d", want, got)
+	}
+	if got, want := r.mgr.EpochPending(), r.model.EpochPending(); got != want {
+		return r.fail(c, desc, "epoch-parked frames: model %d, implementation %d", want, got)
 	}
 	real, want := r.mgr.Snapshot(), r.model.Stats
 	checks := []struct {
@@ -650,6 +692,49 @@ func (r *runner) exec(c Cmd) (string, *Divergence) {
 		// (registerAlloc) then proves no free was lost or duplicated.
 		return desc, r.audit(c, desc)
 
+	case OpDepotExchange:
+		_, rp, mp := r.pathAt(c.A)
+		if c.B%2 == 0 {
+			n := 1 + int(c.C)%3
+			desc := fmt.Sprintf("DepotCharge %s n=%d", mp.Name, n)
+			got := rp.DepotCharge(n)
+			want := m.DepotCharge(mp, n)
+			if got != want {
+				return desc, r.fail(c, desc, "fbufs charged: model %d, implementation %d", want, got)
+			}
+			return desc, nil
+		}
+		desc := "DepotDischarge " + mp.Name
+		got := rp.DepotDischarge()
+		want := m.DepotDischarge(mp)
+		if got != want {
+			return desc, r.fail(c, desc, "fbufs discharged: model %d, implementation %d", want, got)
+		}
+		return desc, nil
+
+	case OpEpochAdvance:
+		switch c.A % 4 {
+		case 2:
+			r.epoch.Enter()
+			m.EpochEnter()
+			return "EpochEnter", nil
+		case 3:
+			r.epoch.Exit()
+			m.EpochExit()
+			return "EpochExit", nil
+		default:
+			desc := "AdvanceEpoch"
+			got := r.mgr.AdvanceEpoch()
+			want := m.AdvanceEpoch()
+			if got != want {
+				return desc, r.fail(c, desc, "frames retired: model %d, implementation %d", want, got)
+			}
+			if got, want := r.mgr.EpochPending(), m.EpochPending(); got != want {
+				return desc, r.fail(c, desc, "frames still parked: model %d, implementation %d", want, got)
+			}
+			return desc, nil
+		}
+
 	default: // OpEvict
 		_, rp, mp := r.pathAt(c.A)
 		desc := "EvictPath " + mp.Name
@@ -710,6 +795,7 @@ func Generate(seed int64, n int) []Cmd {
 		{OpWrite, 11}, {OpRead, 11}, {OpFree, 16}, {OpFreeBatch, 5},
 		{OpDupRef, 4}, {OpSetQuota, 3}, {OpCrash, 1}, {OpReclaim, 3},
 		{OpDeliver, 5}, {OpEvict, 2}, {OpRingSubmit, 3}, {OpRingDrain, 2},
+		{OpDepotExchange, 3}, {OpEpochAdvance, 2},
 	}
 	total := 0
 	for _, w := range weights {

@@ -131,6 +131,117 @@ func TestConformanceCatchesSkipQuota(t *testing.T) {
 	t.Logf("caught with %d-command counterexample", len(ce.Shrunk))
 }
 
+// TestConformanceCatchesSkipEpochWait injects the epoch-reclaim crash-rule
+// bug: a model that retires parked frames without waiting for a pinned
+// worker's epoch to drain. The real stack keeps such frames parked, so the
+// retire-count oracle (or the parked-frame audit) must diverge — and the
+// counterexample must shrink to a handful of commands.
+func TestConformanceCatchesSkipEpochWait(t *testing.T) {
+	cfg := Config{Hooks: Hooks{SkipEpochWait: true}}
+	var ce *Counterexample
+	for seed := int64(1); seed <= 50; seed++ {
+		if ce = RunSeed(seed, cmdsPerSeed, cfg); ce != nil {
+			break
+		}
+	}
+	if ce == nil {
+		t.Fatal("injected skip-epoch-wait bug was never caught")
+	}
+	if len(ce.Shrunk) > 8 {
+		t.Fatalf("counterexample not minimal: %d commands\n%s", len(ce.Shrunk), ce)
+	}
+	t.Logf("caught with %d-command counterexample:\n%s", len(ce.Shrunk), ce)
+}
+
+// TestDepotEpochDirected drives the depot and epoch machinery through
+// directed sequences the random mix reaches only occasionally: charge past
+// the one-unit stack bound into the shard spill, discharge it all back,
+// advance with a pinned worker (nothing may retire), crash a domain with
+// depot inventory outstanding, and reclaim with the released epoch
+// draining. Every step runs under the full-audit cadence of 1 so the
+// depot-inventory invariant and parked-frame count are checked after each
+// command.
+func TestDepotEpochDirected(t *testing.T) {
+	scripts := map[string][]Cmd{
+		// Fill the pipe free list, charge twice (stack then spill),
+		// discharge everything, and re-allocate: the identity oracle proves
+		// the depot round-trip preserved the free-list contents.
+		"charge-spill-discharge": {
+			{Op: OpAllocBatch, A: 0, B: 2},       // pipe x3
+			{Op: OpAllocBatch, A: 0, B: 2},       // pipe x3
+			{Op: OpFreeBatch, A: 255, B: 255, C: 2},
+			{Op: OpFreeBatch, A: 0, B: 255, C: 2},
+			{Op: OpDepotExchange, A: 0, B: 0, C: 1}, // charge 2: unit stack
+			{Op: OpDepotExchange, A: 0, B: 0, C: 1}, // charge 2: spills to shard
+			{Op: OpDepotExchange, A: 0, B: 0, C: 0}, // charge 1: spills to next shard
+			{Op: OpDepotExchange, A: 0, B: 1},       // discharge all
+			{Op: OpAllocBatch, A: 0, B: 2},
+		},
+		// Pin the worker's epoch, tear frames down (evict), and advance:
+		// nothing may retire until the worker exits and a second advance
+		// proves the epoch drained.
+		"pinned-epoch-holds-frames": {
+			{Op: OpAlloc, A: 0},
+			{Op: OpAlloc, A: 0},
+			{Op: OpEpochAdvance, A: 2}, // enter
+			{Op: OpFree, A: 255, B: 255},
+			{Op: OpFree, A: 254, B: 255},
+			{Op: OpEvict, A: 0},        // tears down free list: parks frames
+			{Op: OpEpochAdvance, A: 0}, // advance: pinned worker holds them
+			{Op: OpEpochAdvance, A: 3}, // exit
+			{Op: OpEpochAdvance, A: 1}, // advance: epoch drained, frames retire
+		},
+		// Crash the path's originator while the depot holds inventory: the
+		// close must drain the depot through teardown, with the parked
+		// frames retiring only on a later advance.
+		"crash-with-depot-inventory": {
+			{Op: OpAllocBatch, A: 0, B: 2},
+			{Op: OpFreeBatch, A: 255, B: 255, C: 2},
+			{Op: OpDepotExchange, A: 0, B: 0, C: 1}, // charge 2
+			{Op: OpCrash, A: 0},                     // A dies: pipe closes, depot drains
+			{Op: OpEpochAdvance, A: 0},
+			{Op: OpReclaim, A: 3},
+			{Op: OpEpochAdvance, A: 0},
+		},
+	}
+	for name, cmds := range scripts {
+		if div := Run(cmds, Config{AuditEvery: 1}); div != nil {
+			t.Errorf("%s: %v", name, div)
+		}
+	}
+}
+
+// TestExploreDepotEpoch exhaustively interleaves a depot/epoch stream with
+// an alloc/free/reclaim/crash stream: every schedule of the two 4-command
+// streams (70 interleavings) must match the sequential model over its
+// flattened order — the depot exchange and epoch advance are single
+// serializable steps with no schedule-dependent behavior.
+func TestExploreDepotEpoch(t *testing.T) {
+	streams := [][]Cmd{
+		{
+			{Op: OpDepotExchange, A: 0, B: 0, C: 1}, // charge pipe
+			{Op: OpEpochAdvance, A: 2},              // enter
+			{Op: OpDepotExchange, A: 0, B: 1},       // discharge pipe
+			{Op: OpEpochAdvance, A: 0},              // advance
+		},
+		{
+			{Op: OpAllocBatch, A: 0, B: 1},      // pipe x2
+			{Op: OpFreeBatch, A: 255, B: 255, C: 1},
+			{Op: OpReclaim, A: 1},
+			{Op: OpCrash, A: 2},                 // C dies: pipe + lazy close
+		},
+	}
+	for _, sched := range enumSchedules(2, 4) {
+		div, flat, err := runSchedule(streams, sched, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div != nil {
+			t.Fatalf("schedule %v diverged: %v\nflat prefix: %v", sched, div, flat)
+		}
+	}
+}
+
 // TestExploreRandom runs the interleaving explorer over random and
 // min-clock schedules: per-worker virtual clocks, sink swapped before
 // every step. The facility's functional behavior must be identical

@@ -118,6 +118,10 @@ type Hooks struct {
 	FIFOReuse bool
 	// SkipQuota drops the §3.2.1 chunk-quota admission check.
 	SkipQuota bool
+	// SkipEpochWait drops the epoch-reclaim crash rule: AdvanceEpoch
+	// ignores the workers' advertised epochs and retires every parked
+	// frame immediately, instead of waiting for the epoch to drain.
+	SkipEpochWait bool
 }
 
 // Stats is the model's prediction of core.Stats, field for field.
@@ -176,6 +180,47 @@ type MPath struct {
 	Allocated uint64
 	Free      []*MFbuf // LIFO: push back, pop back (front when FIFO)
 	Chunks    []*MChunk
+	Depot     *MDepot // nil when the path has no magazine depot
+}
+
+// MDepot models a path's magazine depot: a bounded LIFO stack of whole
+// units plus sharded loose-inventory lists, mirroring core.Depot's
+// exchange, spill, and drain rules exactly (unit stack top-down, shards
+// 0..n-1, round-robin spill cursor).
+type MDepot struct {
+	Unit      int
+	MaxFull   int
+	Full      [][]*MFbuf
+	Shards    [][]*MFbuf
+	SpillNext int
+	Closed    bool
+}
+
+// inventory counts the fbufs the depot holds (units + shards).
+func (d *MDepot) inventory() int {
+	n := 0
+	for _, u := range d.Full {
+		n += len(u)
+	}
+	for _, s := range d.Shards {
+		n += len(s)
+	}
+	return n
+}
+
+// drain removes and returns the whole inventory in core.Depot.drain order:
+// unit stack top-down, each unit in slice order, then shards 0..n-1.
+func (d *MDepot) drain() []*MFbuf {
+	var out []*MFbuf
+	for i := len(d.Full) - 1; i >= 0; i-- {
+		out = append(out, d.Full[i]...)
+	}
+	d.Full = nil
+	for i, s := range d.Shards {
+		out = append(out, s...)
+		d.Shards[i] = nil
+	}
+	return out
 }
 
 // Fbuf lifecycle states, mirroring core.State.
@@ -235,6 +280,21 @@ type Model struct {
 	// a real mapping replaces it (eager transfer map or a write fault).
 	Leaf  map[int]map[uint64]bool
 	Stats Stats
+
+	// Epoch-based frame reclamation (PR 10). Epoch is the current epoch
+	// (1 once a worker registers, matching core.RegisterEpochWorker);
+	// EpochPinned is the runner's single worker's advertised epoch (0 =
+	// quiescent); Deferred is the parked-frame ledger, one entry per
+	// epoch with the number of frame releases parked under it.
+	Epoch       uint64
+	EpochPinned uint64
+	Deferred    []EpochEntry
+}
+
+// EpochEntry is one epoch's worth of parked frame releases.
+type EpochEntry struct {
+	Epoch uint64
+	Count int
 }
 
 // NewModel builds a model of a manager with the given geometry, mirroring
@@ -743,6 +803,19 @@ func (m *Model) recycle(f *MFbuf, b *freeBatchState) {
 		}
 	}
 	// Full teardown.
+	m.teardown(f)
+}
+
+// teardown mirrors Manager.teardown: mappings gone, every attached frame's
+// release parked for the current epoch, the fbuf removed from its chunk.
+func (m *Model) teardown(f *MFbuf) {
+	frames := 0
+	for i := range f.Present {
+		if f.Present[i] {
+			frames++
+		}
+	}
+	m.parkFrames(frames)
 	f.Refs = map[int]int{}
 	f.Mapped = map[int]bool{}
 	for i := range f.Present {
@@ -815,6 +888,7 @@ func (m *Model) ReclaimIdle(maxFrames int) int {
 				for j := pg * m.PageSize; j < (pg+1)*m.PageSize; j++ {
 					f.Content[j] = 0
 				}
+				m.parkFrames(1)
 				reclaimed++
 				m.Stats.FramesReclaimed++
 			}
@@ -896,9 +970,10 @@ func (m *Model) Crash(d int) {
 }
 
 // EvictPath models Manager.EvictPath (path-cache demotion): every
-// free-listed fbuf is fully torn down; live and draining fbufs are
-// untouched — eviction must never revoke an outstanding reference. The
-// path stays open. Returns the number of fbufs torn down, matching the
+// free-listed fbuf — shared free list first, then the depot's inventory in
+// drain order — is fully torn down; live and draining fbufs are untouched —
+// eviction must never revoke an outstanding reference. The path (and its
+// depot) stays open. Returns the number of fbufs torn down, matching the
 // real manager's return value.
 func (m *Model) EvictPath(p *MPath) int {
 	if p.Closed {
@@ -906,25 +981,21 @@ func (m *Model) EvictPath(p *MPath) int {
 	}
 	fl := p.Free
 	p.Free = nil
+	if p.Depot != nil {
+		fl = append(fl, p.Depot.drain()...)
+	}
 	for _, f := range fl {
 		// Same teardown the real eviction performs: a recycle that cannot
 		// re-enter the free list (the list was detached above).
 		m.Stats.Recycles++
-		f.Refs = map[int]int{}
-		f.Mapped = map[int]bool{}
-		for i := range f.Present {
-			f.Present[i] = false
-		}
-		f.State = StFree
-		f.Secured = false
-		f.Torn = true
-		m.removeFromChunk(f)
+		m.teardown(f)
 	}
 	m.Stats.PathEvictions++
 	return len(fl)
 }
 
-// ClosePath models Manager.ClosePath: the free list is torn down; live
+// ClosePath models Manager.ClosePath: the free list is torn down, then the
+// depot is closed and its drained inventory torn down the same way; live
 // fbufs drain through the normal free/notice flow.
 func (m *Model) ClosePath(p *MPath) {
 	if p.Closed {
@@ -936,6 +1007,138 @@ func (m *Model) ClosePath(p *MPath) {
 	for _, f := range fl {
 		m.recycle(f, nil)
 	}
+	if d := p.Depot; d != nil {
+		d.Closed = true
+		for _, f := range d.drain() {
+			m.recycle(f, nil)
+		}
+	}
+}
+
+// --- Depot exchange and epoch-based reclamation (PR 10) ---
+
+// parkFrames records n frame releases deferred to the current epoch — the
+// model twin of n deferFrameFree calls with a worker registered. Entries
+// for the same epoch merge, keeping the ledger one entry per epoch.
+func (m *Model) parkFrames(n int) {
+	if n == 0 || m.Epoch == 0 {
+		return
+	}
+	if k := len(m.Deferred); k > 0 && m.Deferred[k-1].Epoch == m.Epoch {
+		m.Deferred[k-1].Count += n
+		return
+	}
+	m.Deferred = append(m.Deferred, EpochEntry{Epoch: m.Epoch, Count: n})
+}
+
+// EpochPending returns the number of parked frame releases.
+func (m *Model) EpochPending() int {
+	n := 0
+	for _, e := range m.Deferred {
+		n += e.Count
+	}
+	return n
+}
+
+// EpochEnter advertises the current epoch for the runner's worker
+// (EpochWorker.Enter); re-entering refreshes the advertisement.
+func (m *Model) EpochEnter() { m.EpochPinned = m.Epoch }
+
+// EpochExit clears the advertisement (EpochWorker.Exit).
+func (m *Model) EpochExit() { m.EpochPinned = 0 }
+
+// AdvanceEpoch mirrors Manager.AdvanceEpoch: the epoch advances and every
+// parked release whose stamp is older than the minimum advertised epoch
+// retires. A quiescent worker (pin 0) constrains nothing. Returns the
+// number of frames retired. The SkipEpochWait hook drops the wait — the
+// buggy model retires frames a pinned worker may still be using.
+func (m *Model) AdvanceEpoch() int {
+	if m.Epoch == 0 {
+		return 0
+	}
+	next := m.Epoch + 1
+	minPinned := next
+	if !m.Hooks.SkipEpochWait && m.EpochPinned != 0 && m.EpochPinned < minPinned {
+		minPinned = m.EpochPinned
+	}
+	retired := 0
+	keep := m.Deferred[:0]
+	for _, e := range m.Deferred {
+		if e.Epoch < minPinned {
+			retired += e.Count
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	m.Deferred = keep
+	m.Epoch = next
+	return retired
+}
+
+// exchangeFull mirrors Depot.ExchangeFull: on a closed depot the stranded
+// unit tears down (no Recycles recount — teardownStashed semantics); below
+// the stack bound the unit stacks; otherwise it spills whole into the
+// round-robin shard.
+func (m *Model) exchangeFull(d *MDepot, unit []*MFbuf) {
+	if len(unit) == 0 {
+		return
+	}
+	if d.Closed {
+		for _, f := range unit {
+			m.teardown(f)
+		}
+		return
+	}
+	if len(d.Full) < d.MaxFull {
+		d.Full = append(d.Full, unit)
+		return
+	}
+	s := d.SpillNext % len(d.Shards)
+	d.SpillNext++
+	d.Shards[s] = append(d.Shards[s], unit...)
+}
+
+// DepotCharge mirrors DataPath.DepotCharge: up to n fbufs move from the
+// hot tail of the free list into the depot as one unit. Returns the number
+// moved (0 on a depot-less or closed path).
+func (m *Model) DepotCharge(p *MPath, n int) int {
+	d := p.Depot
+	if d == nil || n <= 0 || p.Closed {
+		return 0
+	}
+	if n > len(p.Free) {
+		n = len(p.Free)
+	}
+	if n == 0 {
+		return 0
+	}
+	unit := append([]*MFbuf(nil), p.Free[len(p.Free)-n:]...)
+	p.Free = p.Free[:len(p.Free)-n]
+	m.exchangeFull(d, unit)
+	return n
+}
+
+// DepotDischarge mirrors DataPath.DepotDischarge: the depot's entire
+// inventory returns to the free list in drain order. On a closed path the
+// drained fbufs tear down instead and the count is 0 (in practice the
+// depot is already closed and empty then).
+func (m *Model) DepotDischarge(p *MPath) int {
+	d := p.Depot
+	if d == nil {
+		return 0
+	}
+	inv := d.drain()
+	if len(inv) == 0 {
+		return 0
+	}
+	if p.Closed {
+		for _, f := range inv {
+			m.teardown(f)
+		}
+		return 0
+	}
+	p.Free = append(p.Free, inv...)
+	return len(inv)
 }
 
 // LiveSummary formats a short account of the model state for divergence

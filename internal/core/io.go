@@ -142,16 +142,51 @@ func (m *Manager) CheckInvariants() error {
 		}
 	}
 	for _, p := range m.paths {
-		for _, f := range p.free {
+		checkIdle := func(where string, f *Fbuf) error {
 			if s := f.State(); s != StateFree {
-				return fmt.Errorf("core: fbuf %#x on free list in state %s", uint64(f.Base), s)
+				return fmt.Errorf("core: fbuf %#x on %s in state %s", uint64(f.Base), where, s)
 			}
 			if f.Refs() != 0 {
-				return fmt.Errorf("core: free fbuf %#x has %d refs", uint64(f.Base), f.Refs())
+				return fmt.Errorf("core: %s fbuf %#x has %d refs", where, uint64(f.Base), f.Refs())
 			}
 			if f.Secured() {
-				return fmt.Errorf("core: free fbuf %#x still secured", uint64(f.Base))
+				return fmt.Errorf("core: %s fbuf %#x still secured", where, uint64(f.Base))
 			}
+			return nil
+		}
+		for _, f := range p.free {
+			if err := checkIdle("free list", f); err != nil {
+				return err
+			}
+		}
+		inventory := 0
+		if d := p.depot; d != nil {
+			inv := d.snapshotInventory()
+			inventory = len(inv)
+			for _, f := range inv {
+				if err := checkIdle("depot", f); err != nil {
+					return err
+				}
+				if f.Path != p {
+					return fmt.Errorf("core: depot of path %d holds foreign fbuf %#x", p.ID, uint64(f.Base))
+				}
+			}
+		}
+		// Depot-inventory invariant: every StateFree fbuf carved for the
+		// path is accounted for by exactly the free list plus the depot
+		// (worker magazines must be drained at quiescence, the same
+		// precondition the rest of this walk already assumes).
+		stateFree := 0
+		for _, c := range p.chunks {
+			for _, f := range c.fbufs {
+				if f.Path == p && f.State() == StateFree {
+					stateFree++
+				}
+			}
+		}
+		if stateFree != len(p.free)+inventory {
+			return fmt.Errorf("core: path %d inventory drift: %d StateFree fbufs in chunks but free list %d + depot %d",
+				p.ID, stateFree, len(p.free), inventory)
 		}
 	}
 	if m.san != nil {
@@ -193,6 +228,13 @@ func (m *Manager) CheckConverged() error {
 	}
 	if n := len(m.uncached); n > 0 {
 		return fmt.Errorf("core: not converged: %d uncached fbufs still outstanding", n)
+	}
+	// The crash/teardown rule of the epoch protocol: deferred frames may
+	// only return to mem after the epoch drains, so a converged facility
+	// has advanced past every park (call AdvanceEpoch after workers
+	// quiesce; with no registered workers nothing ever parks).
+	if n := m.EpochPending(); n > 0 {
+		return fmt.Errorf("core: not converged: %d frames parked awaiting epoch retirement", n)
 	}
 	return nil
 }

@@ -31,14 +31,29 @@ type Magazine struct {
 	cap   int
 	stash []*Fbuf
 
+	// prev is the Bonwick second magazine, used only when the path has a
+	// depot: a worker holds a loaded magazine (stash) and a previous one,
+	// swapping them locally when one runs dry or full so a strict
+	// alloc/free alternation at a magazine boundary never touches the
+	// depot. Only when both are empty (or both full) does the worker
+	// exchange a whole unit with the depot — one constant-time swap under
+	// the depot's leaf lock instead of an item-at-a-time refill.
+	prev []*Fbuf
+
 	// Local counters, merged into the shared Stats/Contention groups on
-	// refill, flush, and Drain — the deferral is what keeps the hit path
-	// free of shared-cacheline traffic. Hit-served allocations count as
-	// Allocs+CacheHits and stash frees as Frees+Recycles, so the global
-	// invariants (Stats.Check) hold at quiescence once the magazine is
-	// drained.
+	// refill, flush, exchange, and Drain — the deferral is what keeps the
+	// hit path free of shared-cacheline traffic. Hit-served allocations
+	// count as Allocs+CacheHits and stash frees as Frees+Recycles, so the
+	// global invariants (Stats.Check) hold at quiescence once the magazine
+	// is drained.
 	hits, misses, refills, flushes uint64
 	allocs, frees, recycles        uint64
+
+	// exchTotal is the lifetime depot-exchange count (the shared-group
+	// DepotExchanges counter is bumped by the depot itself at swap time,
+	// so this one is never reset by a merge) — the bench harness reads it
+	// to attribute exchange costs.
+	exchTotal uint64
 }
 
 // NewMagazine creates a magazine over the path with the given stash
@@ -53,8 +68,12 @@ func (p *DataPath) NewMagazine(capacity int) *Magazine {
 // Path returns the data path the magazine allocates from.
 func (g *Magazine) Path() *DataPath { return g.path }
 
-// Depth returns the current stash depth.
-func (g *Magazine) Depth() int { return len(g.stash) }
+// Depth returns the number of fbufs held locally (loaded + previous).
+func (g *Magazine) Depth() int { return len(g.stash) + len(g.prev) }
+
+// ExchangeCount returns the lifetime number of depot unit exchanges this
+// magazine performed (0 on a path without a depot).
+func (g *Magazine) ExchangeCount() uint64 { return g.exchTotal }
 
 // LocalStats returns the magazine's unflushed local counters
 // (hits, misses, refills, flushes) — test and diagnostics visibility into
@@ -63,17 +82,33 @@ func (g *Magazine) LocalStats() (hits, misses, refills, flushes uint64) {
 	return g.hits, g.misses, g.refills, g.flushes
 }
 
+// popStash pops the hot end of the loaded stash; the caller guarantees it
+// is non-empty and accounts the hit/miss itself.
+func (g *Magazine) popStash() *Fbuf {
+	n := len(g.stash)
+	f := g.stash[n-1]
+	g.stash[n-1] = nil
+	g.stash = g.stash[:n-1]
+	return f
+}
+
 // Alloc allocates an fbuf for the path's originator. The fast path pops the
-// private stash with zero shared-lock traffic; an empty stash refills from
-// the shared free list under one lock acquisition, and if the shared list
-// is empty too the call falls through to the path's full Alloc (carve,
-// fault plane, events — the kernel boundary).
+// private stash with zero shared-lock traffic (swapping in the previous
+// magazine when the loaded one runs dry — still local). On a true miss a
+// depot-backed path exchanges an empty magazine for a full unit under one
+// leaf-lock swap; otherwise the stash refills item-at-a-time from the
+// shared free list under one lock acquisition, and if the shared list is
+// empty too the call falls through to the path's full Alloc (carve, fault
+// plane, events — the kernel boundary).
 func (g *Magazine) Alloc() (*Fbuf, error) {
 	p := g.path
-	if n := len(g.stash); n > 0 {
-		f := g.stash[n-1]
-		g.stash[n-1] = nil
-		g.stash = g.stash[:n-1]
+	if len(g.stash) == 0 && len(g.prev) > 0 {
+		// Local magazine swap: the previous magazine becomes the loaded
+		// one. No shared state is touched, so this is still a hit.
+		g.stash, g.prev = g.prev, g.stash
+	}
+	if len(g.stash) > 0 {
+		f := g.popStash()
 		g.hits++
 		g.allocs++
 		if s := p.mgr.san; s != nil {
@@ -83,10 +118,25 @@ func (g *Magazine) Alloc() (*Fbuf, error) {
 		return f, nil
 	}
 	g.misses++
+	if d := p.depot; d != nil {
+		if unit, ok := d.ExchangeEmpty(); ok {
+			g.stash = unit
+			g.refills++
+			g.exchTotal++
+			g.mergeCounters()
+			f := g.popStash()
+			g.allocs++
+			if s := p.mgr.san; s != nil {
+				s.verifyReuse(f)
+			}
+			f.resetLive(p.Originator())
+			return f, nil
+		}
+	}
 	p.lock()
 	if p.closed {
-		g.mergeCountersLocked()
 		p.unlock()
+		g.mergeCounters()
 		return nil, ErrPathClosed
 	}
 	take := g.cap
@@ -100,12 +150,10 @@ func (g *Magazine) Alloc() (*Fbuf, error) {
 		p.free = p.free[:len(p.free)-take]
 		g.refills++
 	}
-	g.mergeCountersLocked()
 	p.unlock()
-	if n := len(g.stash); n > 0 {
-		f := g.stash[n-1]
-		g.stash[n-1] = nil
-		g.stash = g.stash[:n-1]
+	g.mergeCounters()
+	if len(g.stash) > 0 {
+		f := g.popStash()
 		g.allocs++
 		if s := p.mgr.san; s != nil {
 			s.verifyReuse(f)
@@ -148,7 +196,7 @@ func (g *Magazine) Free(f *Fbuf, d *domain.Domain) error {
 			}
 			g.stash = append(g.stash, f)
 			if len(g.stash) >= g.cap {
-				g.flush(g.cap / 2)
+				g.overflow()
 			}
 			return nil
 		}
@@ -159,10 +207,40 @@ func (g *Magazine) Free(f *Fbuf, d *domain.Domain) error {
 	return m.Free(f, d)
 }
 
-// Drain flushes the entire stash and all deferred counters back to the
-// shared path state. Call at worker exit and before ClosePath or
-// CheckInvariants — the facility's invariants only see drained magazines.
+// overflow handles a loaded magazine that just reached capacity. With a
+// depot the full magazine rotates into the previous slot, and when both
+// are full the older unit is exchanged into the depot whole — one
+// constant-time leaf-lock swap. Without a depot, half the stash flushes
+// back to the shared free list item-at-a-time (the PR 4 behavior).
+func (g *Magazine) overflow() {
+	d := g.path.depot
+	if d == nil {
+		g.flush(g.cap / 2)
+		return
+	}
+	if len(g.prev) == 0 {
+		g.stash, g.prev = g.prev, g.stash
+		return
+	}
+	d.ExchangeFull(g.prev)
+	g.prev = g.stash
+	g.stash = nil
+	g.flushes++
+	g.exchTotal++
+	g.mergeCounters()
+}
+
+// Drain flushes the entire local inventory (loaded + previous) and all
+// deferred counters back to the shared path state. Call at worker exit and
+// before ClosePath or CheckInvariants — the facility's invariants only see
+// drained magazines.
 func (g *Magazine) Drain() {
+	if len(g.prev) > 0 {
+		// Previous holds the older buffers: flush it first so the shared
+		// list receives oldest-first, like a plain flush of one stash.
+		g.stash = append(g.prev, g.stash...)
+		g.prev = nil
+	}
 	g.flush(len(g.stash))
 }
 
@@ -180,7 +258,7 @@ func (g *Magazine) flush(n int) {
 		// raw buffers without re-counting.
 		stash := g.stash
 		g.stash = g.stash[:0]
-		g.mergeCountersLocked()
+		g.mergeCounters()
 		p.unlock()
 		for _, f := range stash {
 			p.mgr.teardownStashed(f)
@@ -196,7 +274,7 @@ func (g *Magazine) flush(n int) {
 		g.flushes++
 	}
 	depth := len(p.free)
-	g.mergeCountersLocked()
+	g.mergeCounters()
 	p.unlock()
 	if o := p.mgr.Sys.Obs; o != nil && n > 0 {
 		p.ensureMetrics(o)
@@ -204,16 +282,18 @@ func (g *Magazine) flush(n int) {
 	}
 }
 
-// mergeCountersLocked merges the deferred local counters into the shared
-// Stats and Contention groups. Called with the path lock held (Allocated is
-// lock-guarded); the zeroed locals make the merge idempotent.
-func (g *Magazine) mergeCountersLocked() {
+// mergeCounters merges the deferred local counters into the shared Stats
+// and Contention groups. Entirely atomic — a depot exchange merges without
+// holding the path lock, which is why Allocated is an atomic field rather
+// than lock-guarded (the PR 4 merge read Stats state non-atomically during
+// an exchange). The zeroed locals make the merge idempotent.
+func (g *Magazine) mergeCounters() {
 	p := g.path
 	m := p.mgr
 	if g.allocs > 0 {
 		atomic.AddUint64(&m.stats.Allocs, g.allocs)
 		atomic.AddUint64(&m.stats.CacheHits, g.allocs)
-		p.Allocated += g.allocs
+		atomic.AddUint64(&p.Allocated, g.allocs)
 	}
 	if g.frees > 0 {
 		atomic.AddUint64(&m.stats.Frees, g.frees)

@@ -24,11 +24,14 @@ import (
 // chunk guards its fbuf directory, each Fbuf guards its reference and
 // mapping maps, and the Manager keeps only two narrow locks (regionMu for
 // the chunk table and uncached directory, noticeMu for the pending-notice
-// map) plus atomic counters for stats. Control-plane operations — NewPath,
-// AttachDomain, ClosePath, domain creation and termination, ReclaimIdle,
-// CheckInvariants — mutate the path/domain directories without locks and
-// are single-threaded by contract: run them before workers start or after
-// they quiesce, exactly as a kernel runs them under its own coarse lock.
+// map) plus atomic counters for stats. ReclaimIdle is data-plane too: it
+// walks free lists under the path and fbuf locks and defers the frame
+// release through the epoch protocol (epoch.go), so it never stalls an
+// allocating worker. Control-plane operations — NewPath, AttachDomain,
+// ClosePath, domain creation and termination, CheckInvariants — mutate the
+// path/domain directories without locks and are single-threaded by
+// contract: run them before workers start or after they quiesce, exactly
+// as a kernel runs them under its own coarse lock.
 type Manager struct {
 	Sys *vm.System
 	Reg *domain.Registry
@@ -108,6 +111,10 @@ type Manager struct {
 	// (published as the smp.* metric group). All fields are atomic.
 	contention Contention
 
+	// epoch is the epoch-based frame-reclamation state (epoch.go). Inert —
+	// frames release eagerly — until the first RegisterEpochWorker.
+	epoch epochState
+
 	// WallNow, when set, supplies real wall-clock nanoseconds for the
 	// contended-lock wait measurement (PathContention.WaitNs). It is nil
 	// in the deterministic single-threaded mode — only the opt-in
@@ -139,6 +146,21 @@ type Contention struct {
 	// MagazineFlushes counts flush operations that returned at least one
 	// fbuf from a magazine to a shared free list.
 	MagazineFlushes uint64
+	// DepotExchanges counts whole-magazine unit swaps with a path depot
+	// (full pushed or full popped), each one constant-time under the
+	// depot's leaf-rank lock.
+	DepotExchanges uint64
+	// DepotAssemblies counts ExchangeEmpty calls that found the unit stack
+	// dry and rebuilt a unit from the sharded loose-inventory lists.
+	DepotAssemblies uint64
+	// DepotSpills counts ExchangeFull calls that found the unit stack at
+	// its bound and spilled the unit into a shard.
+	DepotSpills uint64
+	// EpochParks counts frames parked by the epoch reclaim protocol
+	// instead of released inline.
+	EpochParks uint64
+	// EpochRetires counts parked frames returned to mem by AdvanceEpoch.
+	EpochRetires uint64
 }
 
 // ContentionSnapshot returns an atomic copy of the contention counters.
@@ -150,6 +172,11 @@ func (m *Manager) ContentionSnapshot() Contention {
 		MagazineMisses:  atomic.LoadUint64(&m.contention.MagazineMisses),
 		MagazineRefills: atomic.LoadUint64(&m.contention.MagazineRefills),
 		MagazineFlushes: atomic.LoadUint64(&m.contention.MagazineFlushes),
+		DepotExchanges:  atomic.LoadUint64(&m.contention.DepotExchanges),
+		DepotAssemblies: atomic.LoadUint64(&m.contention.DepotAssemblies),
+		DepotSpills:     atomic.LoadUint64(&m.contention.DepotSpills),
+		EpochParks:      atomic.LoadUint64(&m.contention.EpochParks),
+		EpochRetires:    atomic.LoadUint64(&m.contention.EpochRetires),
 	}
 }
 
@@ -300,8 +327,22 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("smp.magazine_misses").Set(c.MagazineMisses)
 	reg.Counter("smp.magazine_refills").Set(c.MagazineRefills)
 	reg.Counter("smp.magazine_flushes").Set(c.MagazineFlushes)
+	reg.Counter("smp.depot_exchanges").Set(c.DepotExchanges)
+	reg.Counter("smp.depot_assemblies").Set(c.DepotAssemblies)
+	reg.Counter("smp.depot_spills").Set(c.DepotSpills)
+	reg.Counter("smp.epoch_parks").Set(c.EpochParks)
+	reg.Counter("smp.epoch_retires").Set(c.EpochRetires)
 	for _, p := range m.paths {
 		reg.Gauge(p.metricPrefix() + "free_depth").Set(int64(p.FreeListLen()))
+		if d := p.depot; d != nil {
+			reg.Gauge(p.metricPrefix() + "depot_inventory").Set(int64(d.Inventory()))
+			for i, ss := range d.ShardStats() {
+				pre := fmt.Sprintf("%sdepot_shard.%d.", p.metricPrefix(), i)
+				reg.Counter(pre + "acquires").Set(ss.Acquires)
+				reg.Counter(pre + "contended").Set(ss.Contended)
+				reg.Gauge(pre + "depth").Set(int64(ss.Depth))
+			}
+		}
 	}
 }
 

@@ -43,6 +43,12 @@ type DataPath struct {
 	free   []*Fbuf // LIFO: most recently freed first (most likely resident)
 	chunks []*chunk
 
+	// depot, when non-nil, is the central magazine depot between this
+	// path's free list and its workers' magazines (depot.go). Control-plane:
+	// installed by EnableDepot before workers start; nil keeps the PR 4
+	// item-at-a-time magazine behavior bit-identical.
+	depot *Depot
+
 	// quota is the chunk limit (0 = manager default, negative = unlimited).
 	// Atomic because SetQuota is a kernel control knob callers may turn
 	// while allocators are running: Alloc reads it under the path lock but
@@ -63,8 +69,11 @@ type DataPath struct {
 
 	closed bool
 
-	// Stats. Allocated is guarded by mu (read it via AllocatedCount
-	// during concurrent operation).
+	// Stats. Allocated is read and written atomically: the magazines'
+	// deferred-counter merge adds to it during a depot exchange without
+	// holding the path lock, so a plain lock-guarded field would race with
+	// Alloc's own increment (the PR 4 latent bug). Read it via
+	// AllocatedCount.
 	Allocated uint64
 
 	// Cached per-path metric handles, resolved on first observed use.
@@ -227,12 +236,10 @@ func (p *DataPath) FreeListLen() int {
 	return len(p.free)
 }
 
-// AllocatedCount returns the path's lifetime allocation count under the
-// path lock (the concurrency-safe read of the Allocated field).
+// AllocatedCount returns the path's lifetime allocation count (atomic —
+// the concurrency-safe read of the Allocated field).
 func (p *DataPath) AllocatedCount() uint64 {
-	p.lock()
-	defer p.unlock()
-	return p.Allocated
+	return atomic.LoadUint64(&p.Allocated)
 }
 
 // metricPrefix names this path's metrics uniquely across hosts.
@@ -285,7 +292,7 @@ func (p *DataPath) Alloc() (*Fbuf, error) {
 	}
 	p.lock()
 	atomic.AddUint64(&m.stats.Allocs, 1)
-	p.Allocated++
+	atomic.AddUint64(&p.Allocated, 1)
 	if p.opts.Cached {
 		if n := len(p.free); n > 0 {
 			var f *Fbuf
@@ -466,7 +473,7 @@ func (p *DataPath) AllocBatch(out []*Fbuf) (int, error) {
 				break
 			}
 			atomic.AddUint64(&m.stats.Allocs, 1)
-			p.Allocated++
+			atomic.AddUint64(&p.Allocated, 1)
 			var f *Fbuf
 			if p.opts.FIFO {
 				f = p.free[0]
@@ -650,15 +657,15 @@ func (m *Manager) allocFrame(f *Fbuf, skipClear bool) (mem.FrameNum, error) {
 
 // releaseFrames drops the fbuf's ownership references (teardown or
 // reclamation); mappings must already be gone for the frames to actually
-// free.
+// free. The release is epoch-deferred once workers register (epoch.go), so
+// teardown from domainDied, ClosePath, or EvictPath never returns a frame
+// to mem under an allocating worker's feet.
 func (m *Manager) releaseFrames(f *Fbuf) {
 	for i, fn := range f.frames {
 		if fn == mem.NoFrame {
 			continue
 		}
-		if freed := m.Sys.Mem.DecRef(fn); freed {
-			m.Sys.Sink().Charge(m.Sys.Cost.FrameFree)
-		}
+		m.deferFrameFree(fn)
 		f.frames[i] = mem.NoFrame
 	}
 }
@@ -1165,9 +1172,7 @@ func (m *Manager) ReclaimIdle(maxFrames int) int {
 				if m.san != nil {
 					m.san.frameReclaimed(f, pg)
 				}
-				if freed := m.Sys.Mem.DecRef(f.frames[pg]); freed {
-					m.Sys.Sink().Charge(m.Sys.Cost.FrameFree)
-				}
+				m.deferFrameFree(f.frames[pg])
 				f.frames[pg] = mem.NoFrame
 				reclaimed++
 				atomic.AddUint64(&m.stats.FramesReclaimed, 1)
@@ -1272,6 +1277,14 @@ func (m *Manager) ClosePath(p *DataPath) {
 	p.unlock()
 	for _, f := range freeList {
 		m.recycle(f) // path closed: full teardown
+	}
+	// Depot inventory is free-listed state too: tear it down the same way.
+	// Closing the depot makes a stranded in-flight magazine exchange tear
+	// its unit down instead of parking it in a dead depot.
+	if d := p.depot; d != nil {
+		for _, f := range d.close() {
+			m.recycle(f)
+		}
 	}
 	m.cacheForget(p.ID)
 	delete(m.paths, p.ID)

@@ -144,14 +144,18 @@ func (m *Manager) cacheForget(id int) {
 	m.cacheMu.Unlock()
 }
 
-// EvictPath demotes a path: every free-listed fbuf is fully torn down —
-// receiver mappings shot down, frames returned, chunks released as they
-// drain — exactly as recycling on a closed path would. Live fbufs
-// (allocated, in transfer, or awaiting deallocation notices) are not on
-// the free list and are untouched: eviction never revokes an outstanding
-// reference, an invariant the conformance model cross-checks. The path
-// remains open; its next Alloc re-primes the allocator at cache-miss
-// cost. Returns the number of fbufs torn down.
+// EvictPath demotes a path: every free-listed fbuf — on the shared free
+// list or parked in the path's depot — is fully torn down: receiver
+// mappings shot down, frames returned (epoch-deferred once workers
+// register), chunks released as they drain — exactly as recycling on a
+// closed path would. The demotion goes through the depot, never around it:
+// depot inventory is drained as whole units and torn down like free-listed
+// buffers, and live fbufs (allocated, in transfer, or awaiting
+// deallocation notices) are in neither place and are untouched — eviction
+// never revokes an outstanding reference, an invariant the conformance
+// model cross-checks. The path remains open (and its depot stays
+// installed); its next Alloc re-primes the allocator at cache-miss cost.
+// Returns the number of fbufs torn down.
 func (m *Manager) EvictPath(p *DataPath) int {
 	p.lock()
 	if p.closed {
@@ -161,6 +165,9 @@ func (m *Manager) EvictPath(p *DataPath) int {
 	freeList := p.free
 	p.free = nil
 	p.unlock()
+	if d := p.depot; d != nil {
+		freeList = append(freeList, d.drain()...)
+	}
 	for _, f := range freeList {
 		atomic.AddUint64(&m.stats.Recycles, 1)
 		m.emit(obs.EvRecycle, f.Originator, f, 0)
